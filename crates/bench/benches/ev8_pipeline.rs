@@ -1,0 +1,56 @@
+//! Throughput of the full EV8 predictor pipeline — fetch-block
+//! formation, delayed lghist, bank sequencing, engineered index functions
+//! and the partial update — against the unconstrained (complete-hash,
+//! conventional-history) configuration and the plain 2Bc-gskew scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ev8_core::{Ev8Config, Ev8Predictor, HistoryMode};
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+use ev8_sim::simulator::simulate;
+use ev8_trace::Trace;
+use ev8_workloads::spec95;
+
+fn bench_trace() -> Trace {
+    spec95::benchmark("m88ksim")
+        .expect("known benchmark")
+        .generate_scaled(0.002)
+}
+
+fn pipeline(c: &mut Criterion) {
+    let trace = bench_trace();
+    let branches = trace.conditional_count();
+    let mut group = c.benchmark_group("ev8_pipeline");
+    group.throughput(Throughput::Elements(branches));
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::from_parameter("ev8-full"), &trace, |b, t| {
+        b.iter(|| simulate(Ev8Predictor::ev8(), t))
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("ev8-complete-hash"),
+        &trace,
+        |b, t| {
+            b.iter(|| {
+                simulate(
+                    Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::ev8())),
+                    t,
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("ev8-ghist-unconstrained"),
+        &trace,
+        |b, t| b.iter(|| simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), t)),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("plain-2bcgskew"),
+        &trace,
+        |b, t| b.iter(|| simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), t)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Cost of index computation: the EV8's engineered bit equations versus
+//! the skewing-family complete hash, and the primitive `H` transform /
+//! XOR fold.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use ev8_core::config::WordlineMode;
+use ev8_core::index::IndexInputs;
+use ev8_predictors::skew::{h_transform, skew_index, xor_fold, InfoVector};
+use ev8_trace::Pc;
+
+fn index_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_functions");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("ev8_all_four_tables", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1024u64 {
+                let inputs = IndexInputs {
+                    pc: Pc::new(0x1_0000 + i * 4),
+                    history: i.wrapping_mul(0x9E37_79B9),
+                    z: Pc::new(0x2_0000 + (i % 64) * 32),
+                    bank: (i % 4) as u8,
+                    wordline: WordlineMode::HistoryAndAddress,
+                };
+                acc ^= inputs.bim() ^ inputs.g0() ^ inputs.g1() ^ inputs.meta();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("complete_hash_all_four_tables", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                let pc = Pc::new(0x1_0000 + i * 4);
+                let h = i.wrapping_mul(0x9E37_79B9);
+                for (bank, (bits, hlen)) in
+                    [(14u32, 4u32), (16, 13), (16, 21), (16, 15)].iter().enumerate()
+                {
+                    acc ^= InfoVector::new(pc, h, *hlen, *bits).index(bank as u32);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("h_transform_16bit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= h_transform(i.wrapping_mul(0xC2B2_AE35), 16);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("skew_index_bank2", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= skew_index(2, i, i.rotate_left(13), 16);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("xor_fold_64_to_16", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= xor_fold((i as u128).wrapping_mul(0x0123_4567_89AB_CDEF), 16);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, index_functions);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Prediction throughput of every implemented scheme on a fixed
+//! workload chunk: how many branches per second each predictor sustains
+//! in trace-driven simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ev8_predictors::agree::Agree;
+use ev8_predictors::bimodal::Bimodal;
+use ev8_predictors::bimode::Bimode;
+use ev8_predictors::egskew::EGskew;
+use ev8_predictors::gselect::Gselect;
+use ev8_predictors::gshare::Gshare;
+use ev8_predictors::local::LocalPredictor;
+use ev8_predictors::perceptron::Perceptron;
+use ev8_predictors::tournament::Tournament;
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+use ev8_predictors::yags::Yags;
+use ev8_predictors::BranchPredictor;
+use ev8_sim::simulator::simulate;
+use ev8_trace::Trace;
+use ev8_workloads::spec95;
+
+fn bench_trace() -> Trace {
+    spec95::benchmark("perl")
+        .expect("known benchmark")
+        .generate_scaled(0.002)
+}
+
+type Make = Box<dyn Fn() -> Box<dyn BranchPredictor>>;
+
+fn predictors() -> Vec<(&'static str, Make)> {
+    vec![
+        ("bimodal", Box::new(|| Box::new(Bimodal::new(14)))),
+        ("gshare", Box::new(|| Box::new(Gshare::new(16, 16)))),
+        ("gselect", Box::new(|| Box::new(Gselect::new(16, 8)))),
+        ("local", Box::new(|| Box::new(LocalPredictor::new(10, 10)))),
+        ("tournament", Box::new(|| Box::new(Tournament::alpha_21264()))),
+        ("egskew", Box::new(|| Box::new(EGskew::new(14, 14)))),
+        (
+            "2bcgskew-512k",
+            Box::new(|| Box::new(TwoBcGskew::new(TwoBcGskewConfig::size_512k()))),
+        ),
+        ("bimode", Box::new(|| Box::new(Bimode::paper_544k()))),
+        ("yags-288k", Box::new(|| Box::new(Yags::paper_288k()))),
+        ("agree", Box::new(|| Box::new(Agree::new(14, 16, 14)))),
+        ("perceptron", Box::new(|| Box::new(Perceptron::new(10, 24)))),
+    ]
+}
+
+fn throughput(c: &mut Criterion) {
+    let trace = bench_trace();
+    let branches = trace.conditional_count();
+    let mut group = c.benchmark_group("predictor_throughput");
+    group.throughput(Throughput::Elements(branches));
+    group.sample_size(10);
+    for (name, make) in predictors() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| simulate(make(), t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

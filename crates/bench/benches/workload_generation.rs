@@ -1,0 +1,47 @@
+//! Synthetic workload generation throughput: instructions generated per
+//! second for a small-footprint (compress-like) and a large-footprint
+//! (gcc-like) benchmark, plus binary trace codec round-trip speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ev8_trace::codec;
+use ev8_workloads::spec95;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    for name in ["compress", "gcc"] {
+        let spec = spec95::benchmark(name).expect("known benchmark");
+        let instructions = (spec.instructions as f64 * 0.002) as u64;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
+            b.iter(|| s.generate_scaled(0.002))
+        });
+    }
+    group.finish();
+}
+
+fn codec_roundtrip(c: &mut Criterion) {
+    let trace = spec95::benchmark("li")
+        .expect("known benchmark")
+        .generate_scaled(0.002);
+    let mut encoded = Vec::new();
+    codec::write_trace(&mut encoded, &trace).expect("encode");
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            codec::write_trace(&mut buf, &trace).expect("encode");
+            buf
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| codec::read_trace(&mut encoded.as_slice()).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generation, codec_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Aliasing-pressure study (§4 motivation): misp/KI vs static footprint.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("aliasing pressure", scale);
+    println!("{}", ev8_sim::experiments::aliasing::report(scale, workers));
+}

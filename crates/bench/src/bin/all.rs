@@ -1,0 +1,40 @@
+//! Runs every experiment in sequence: Tables 1-3, Figures 5-10, the
+//! §8.1.1 methodology check and the extension studies. One-stop
+//! regeneration of the paper's evaluation section.
+//!
+//! Set `EV8_CSV_DIR=<dir>` to additionally dump every table as CSV.
+
+use ev8_sim::report::ExperimentReport;
+
+fn emit(report: ExperimentReport) {
+    if let Ok(dir) = std::env::var("EV8_CSV_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create CSV directory");
+        report.write_csv(&dir).expect("write CSV");
+    }
+    println!("{report}");
+}
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("full evaluation", scale);
+    emit(ev8_sim::experiments::table1::report());
+    emit(ev8_sim::experiments::table2::report(scale));
+    emit(ev8_sim::experiments::table3::report(scale));
+    emit(ev8_sim::experiments::fig5::report(scale, workers));
+    emit(ev8_sim::experiments::fig6::report(scale, workers));
+    emit(ev8_sim::experiments::fig7::report(scale, workers));
+    emit(ev8_sim::experiments::fig8::report(scale, workers));
+    emit(ev8_sim::experiments::fig9::report(scale, workers));
+    emit(ev8_sim::experiments::fig10::report(scale, workers));
+    emit(ev8_sim::experiments::delayed_update::report(scale, workers, 64));
+    emit(ev8_sim::experiments::frontend::report(scale));
+    emit(ev8_sim::experiments::smt::report((scale * 0.2).min(scale)));
+    emit(ev8_sim::experiments::backup::report(scale, workers));
+    emit(ev8_sim::experiments::history_sweep::report(
+        (scale * 0.1).max(0.002),
+        workers,
+    ));
+    emit(ev8_sim::experiments::update_traffic::report(scale, workers));
+}

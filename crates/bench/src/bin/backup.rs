@@ -1,0 +1,8 @@
+//! §9 extension: perceptron backup predictor behind the EV8.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("backup hierarchy", scale);
+    println!("{}", ev8_sim::experiments::backup::report(scale, workers));
+}

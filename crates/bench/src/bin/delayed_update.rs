@@ -1,0 +1,12 @@
+//! Regenerates the §8.1.1 methodology check: immediate vs commit-time
+//! update (plus the stale-history contrast).
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("delayed-update methodology check", scale);
+    println!(
+        "{}",
+        ev8_sim::experiments::delayed_update::report(scale, workers, 64)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5 of the paper's evaluation.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("Figure 5", scale);
+    println!("{}", ev8_sim::experiments::fig5::report(scale, workers));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 of the paper's evaluation.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("Figure 7", scale);
+    println!("{}", ev8_sim::experiments::fig7::report(scale, workers));
+}

@@ -1,0 +1,7 @@
+//! Front-end substrate report (§2): line predictor, RAS, fetch blocks.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    ev8_bench::print_header("front-end substrate", scale);
+    println!("{}", ev8_sim::experiments::frontend::report(scale));
+}

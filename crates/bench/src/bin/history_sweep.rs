@@ -1,0 +1,11 @@
+//! History-length sweep (§8.2 tuning methodology).
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("history-length sweep", scale);
+    println!(
+        "{}",
+        ev8_sim::experiments::history_sweep::report(scale, workers)
+    );
+}

@@ -1,0 +1,7 @@
+//! SMT interference study (§3): shared tables, per-thread history.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    ev8_bench::print_header("SMT interference", scale);
+    println!("{}", ev8_sim::experiments::smt::report(scale));
+}

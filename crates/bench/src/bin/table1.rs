@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (the EV8 predictor configuration).
+
+fn main() {
+    ev8_bench::print_header("Table 1", 0.0);
+    println!("{}", ev8_sim::experiments::table1::report());
+}

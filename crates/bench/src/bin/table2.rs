@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (benchmark characteristics) on the synthetic
+//! SPECINT95 suite.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    ev8_bench::print_header("Table 2", scale);
+    println!("{}", ev8_sim::experiments::table2::report(scale));
+}

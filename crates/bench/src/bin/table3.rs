@@ -1,0 +1,7 @@
+//! Regenerates Table 3 (conditional branches per lghist bit).
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    ev8_bench::print_header("Table 3", scale);
+    println!("{}", ev8_sim::experiments::table3::report(scale));
+}

@@ -1,0 +1,11 @@
+//! Update-policy ablation (§4.2): accuracy and counter-write traffic.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("update-policy traffic", scale);
+    println!(
+        "{}",
+        ev8_sim::experiments::update_traffic::report(scale, workers)
+    );
+}

@@ -1,0 +1,339 @@
+//! The physical memory organization of the EV8 predictor (§7.1, Figs 3-4
+//! of the paper).
+//!
+//! Logically the predictor has four tables × (prediction + hysteresis) =
+//! eight arrays per bank × four banks = 32 memories. Physically "the
+//! Alpha EV8 branch predictor only implements eight memory arrays: for
+//! each of the four banks there is an array for prediction and an array
+//! for hysteresis. Each word line in the arrays is made up of the four
+//! logical predictor components. Each bank features 64 word lines. Each
+//! word line contains 32 8-bit prediction words from G0, G1 and Meta, and
+//! 8 8-bit prediction words from BIM."
+//!
+//! [`BankedArrays`] models that layout bit-for-bit and enforces the
+//! **single-ported access discipline**: within one cycle each bank's
+//! prediction array may serve at most one read (the §6 bank-number
+//! computation guarantees two fetch blocks never need the same bank).
+//! Reads return the whole 8-bit word of a logical component, as the
+//! hardware's column selection does.
+
+use ev8_trace::Outcome;
+
+use crate::banks::BankId;
+use crate::config::NUM_BANKS;
+
+/// The four logical predictor components within a word line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// The bimodal table (8 words per word line).
+    Bim,
+    /// Skewed bank G0 (32 words per word line).
+    G0,
+    /// Skewed bank G1 (32 words per word line).
+    G1,
+    /// The meta-predictor (32 words per word line).
+    Meta,
+}
+
+impl Component {
+    /// Number of 8-bit words this component contributes to each word
+    /// line (BIM is a quarter the size of the other tables).
+    pub const fn words_per_line(self) -> usize {
+        match self {
+            Component::Bim => 8,
+            _ => 32,
+        }
+    }
+
+    /// Offset (in words) of this component within a word line.
+    const fn line_offset(self) -> usize {
+        match self {
+            Component::Bim => 0,
+            Component::G0 => 8,
+            Component::G1 => 8 + 32,
+            Component::Meta => 8 + 32 + 32,
+        }
+    }
+
+    /// All components in word-line order.
+    pub const ALL: [Component; 4] = [
+        Component::Bim,
+        Component::G0,
+        Component::G1,
+        Component::Meta,
+    ];
+}
+
+/// Words per word line across all components: 8 (BIM) + 3×32.
+const WORDS_PER_LINE: usize = 8 + 32 + 32 + 32;
+/// Word lines per bank.
+const LINES_PER_BANK: usize = 64;
+
+/// One bank's pair of physical arrays (prediction + hysteresis), stored
+/// as 8-bit words exactly as the hardware lays them out.
+#[derive(Clone, Debug)]
+struct Bank {
+    prediction: Vec<u8>,
+    hysteresis: Vec<u8>,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Bank {
+            // Initialize weakly-not-taken: prediction bit 0, hysteresis 1.
+            prediction: vec![0x00; LINES_PER_BANK * WORDS_PER_LINE],
+            hysteresis: vec![0xFF; LINES_PER_BANK * WORDS_PER_LINE],
+        }
+    }
+
+    fn word_index(component: Component, wordline: usize, column: usize) -> usize {
+        debug_assert!(wordline < LINES_PER_BANK);
+        debug_assert!(column < component.words_per_line());
+        wordline * WORDS_PER_LINE + component.line_offset() + column
+    }
+}
+
+/// The eight physical arrays of the EV8 predictor, with per-cycle access
+/// auditing.
+///
+/// # Example
+///
+/// ```
+/// use ev8_core::arrays::{BankedArrays, Component};
+///
+/// let mut arrays = BankedArrays::new();
+/// arrays.begin_cycle();
+/// let word = arrays.read_prediction_word(0, Component::G1, 17, 5).unwrap();
+/// assert_eq!(word, 0); // weakly not taken everywhere
+/// ```
+#[derive(Clone, Debug)]
+pub struct BankedArrays {
+    banks: Vec<Bank>,
+    /// Banks whose prediction array has been read this cycle.
+    read_this_cycle: [bool; NUM_BANKS as usize],
+    /// Total prediction-array reads.
+    reads: u64,
+    /// Single-ported violations detected (0 when the §6 bank computation
+    /// is used).
+    conflicts: u64,
+}
+
+impl BankedArrays {
+    /// Creates the eight arrays, all counters weakly not taken.
+    pub fn new() -> Self {
+        BankedArrays {
+            banks: (0..NUM_BANKS).map(|_| Bank::new()).collect(),
+            read_this_cycle: [false; NUM_BANKS as usize],
+            reads: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Starts a new cycle: each bank may again serve one prediction read.
+    pub fn begin_cycle(&mut self) {
+        self.read_this_cycle = [false; NUM_BANKS as usize];
+    }
+
+    /// Reads the 8-bit prediction word of `component` at
+    /// `(wordline, column)` in `bank` — the fetch-time access of Fig 4.
+    ///
+    /// Returns `None` (and records a conflict) if the bank's single port
+    /// was already used this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn read_prediction_word(
+        &mut self,
+        bank: BankId,
+        component: Component,
+        wordline: usize,
+        column: usize,
+    ) -> Option<u8> {
+        assert!((bank as u64) < NUM_BANKS, "bank out of range");
+        self.reads += 1;
+        if self.read_this_cycle[bank as usize] {
+            self.conflicts += 1;
+            return None;
+        }
+        self.read_this_cycle[bank as usize] = true;
+        let idx = Bank::word_index(component, wordline, column);
+        Some(self.banks[bank as usize].prediction[idx])
+    }
+
+    /// Reads a single logical 2-bit counter, bypassing the port audit
+    /// (commit-time accesses are scheduled separately from fetch reads).
+    pub fn counter(
+        &self,
+        bank: BankId,
+        component: Component,
+        wordline: usize,
+        column: usize,
+        bit: usize,
+    ) -> (u8, u8) {
+        assert!(bit < 8, "bit selects within the 8-bit word");
+        let idx = Bank::word_index(component, wordline, column);
+        let b = &self.banks[bank as usize];
+        (
+            (b.prediction[idx] >> bit) & 1,
+            (b.hysteresis[idx] >> bit) & 1,
+        )
+    }
+
+    /// Trains one logical counter toward an outcome (commit-time
+    /// read-modify-write of the split arrays).
+    pub fn train(
+        &mut self,
+        bank: BankId,
+        component: Component,
+        wordline: usize,
+        column: usize,
+        bit: usize,
+        outcome: Outcome,
+    ) {
+        let (p, h) = self.counter(bank, component, wordline, column, bit);
+        let value = (p << 1) | h;
+        let new = match (outcome.is_taken(), value) {
+            (true, v) if v < 3 => v + 1,
+            (false, v) if v > 0 => v - 1,
+            (_, v) => v,
+        };
+        let idx = Bank::word_index(component, wordline, column);
+        let b = &mut self.banks[bank as usize];
+        let mask = 1u8 << bit;
+        if new >> 1 == 1 {
+            b.prediction[idx] |= mask;
+        } else {
+            b.prediction[idx] &= !mask;
+        }
+        if new & 1 == 1 {
+            b.hysteresis[idx] |= mask;
+        } else {
+            b.hysteresis[idx] &= !mask;
+        }
+    }
+
+    /// Prediction-array reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Single-ported violations so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total storage in bits across the eight arrays.
+    pub fn storage_bits(&self) -> u64 {
+        // 4 banks × 2 arrays × 64 lines × 104 words × 8 bits.
+        (NUM_BANKS as usize * 2 * LINES_PER_BANK * WORDS_PER_LINE * 8) as u64
+    }
+}
+
+impl Default for BankedArrays {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_the_paper() {
+        // "Each bank features 64 word lines. Each word line contains 32
+        // 8-bit prediction words from G0, G1 and Meta, and 8 from BIM."
+        assert_eq!(WORDS_PER_LINE, 104);
+        assert_eq!(Component::Bim.words_per_line(), 8);
+        assert_eq!(Component::G0.words_per_line(), 32);
+        // Per-component capacity check: 4 banks × 64 lines × words × 8
+        // bits = the logical table sizes of Table 1.
+        let entries =
+            |c: Component| NUM_BANKS as usize * LINES_PER_BANK * c.words_per_line() * 8;
+        assert_eq!(entries(Component::Bim), 16 * 1024);
+        assert_eq!(entries(Component::G0), 64 * 1024);
+        assert_eq!(entries(Component::G1), 64 * 1024);
+        assert_eq!(entries(Component::Meta), 64 * 1024);
+        // NOTE: the physical model carries full-size hysteresis words;
+        // the half-size sharing of G0/Meta is an indexing convention
+        // (drop the MSB), not a separate array shape.
+        let a = BankedArrays::new();
+        assert_eq!(a.storage_bits(), 2 * (16 + 64 + 64 + 64) * 1024);
+    }
+
+    #[test]
+    fn initial_state_weakly_not_taken() {
+        let a = BankedArrays::new();
+        for c in Component::ALL {
+            let (p, h) = a.counter(2, c, 63, c.words_per_line() - 1, 7);
+            assert_eq!((p, h), (0, 1), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn single_port_allows_one_read_per_bank_per_cycle() {
+        let mut a = BankedArrays::new();
+        a.begin_cycle();
+        assert!(a.read_prediction_word(1, Component::G0, 0, 0).is_some());
+        // Same bank, same cycle: conflict.
+        assert!(a.read_prediction_word(1, Component::G1, 5, 3).is_none());
+        assert_eq!(a.conflicts(), 1);
+        // Different bank in the same cycle is fine.
+        assert!(a.read_prediction_word(2, Component::G1, 5, 3).is_some());
+        // Next cycle: the port frees up.
+        a.begin_cycle();
+        assert!(a.read_prediction_word(1, Component::Meta, 9, 9).is_some());
+        assert_eq!(a.conflicts(), 1);
+        assert_eq!(a.reads(), 4);
+    }
+
+    #[test]
+    fn train_walks_the_two_bit_state_machine() {
+        let mut a = BankedArrays::new();
+        let args = (3u8, Component::Meta, 17usize, 21usize, 5usize);
+        // weakly NT (01) -> weakly T (10) -> strongly T (11) -> saturate.
+        a.train(args.0, args.1, args.2, args.3, args.4, Outcome::Taken);
+        assert_eq!(a.counter(args.0, args.1, args.2, args.3, args.4), (1, 0));
+        a.train(args.0, args.1, args.2, args.3, args.4, Outcome::Taken);
+        assert_eq!(a.counter(args.0, args.1, args.2, args.3, args.4), (1, 1));
+        a.train(args.0, args.1, args.2, args.3, args.4, Outcome::Taken);
+        assert_eq!(a.counter(args.0, args.1, args.2, args.3, args.4), (1, 1));
+        a.train(args.0, args.1, args.2, args.3, args.4, Outcome::NotTaken);
+        assert_eq!(a.counter(args.0, args.1, args.2, args.3, args.4), (1, 0));
+    }
+
+    #[test]
+    fn neighbouring_counters_are_independent() {
+        let mut a = BankedArrays::new();
+        a.train(0, Component::G1, 10, 10, 3, Outcome::Taken);
+        a.train(0, Component::G1, 10, 10, 3, Outcome::Taken);
+        // Bits 2 and 4 of the same word untouched.
+        assert_eq!(a.counter(0, Component::G1, 10, 10, 2), (0, 1));
+        assert_eq!(a.counter(0, Component::G1, 10, 10, 4), (0, 1));
+        // Same coordinates in another component untouched.
+        assert_eq!(a.counter(0, Component::G0, 10, 10, 3), (0, 1));
+    }
+
+    #[test]
+    fn components_never_overlap_within_a_line() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Component::ALL {
+            for col in 0..c.words_per_line() {
+                assert!(
+                    seen.insert(Bank::word_index(c, 7, col)),
+                    "overlap at {c:?} column {col}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), WORDS_PER_LINE);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank out of range")]
+    fn bad_bank_rejected() {
+        let mut a = BankedArrays::new();
+        a.begin_cycle();
+        a.read_prediction_word(4, Component::Bim, 0, 0);
+    }
+}

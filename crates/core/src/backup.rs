@@ -1,0 +1,239 @@
+//! The backup-predictor hierarchy sketched in the paper's conclusion
+//! (§9): "one may consider further extending the hierarchy of predictors
+//! with increased accuracies and delays: line predictor, global history
+//! branch prediction, backup branch predictor. The backup branch
+//! predictor would deliver its prediction later than the global history
+//! branch predictor."
+//!
+//! [`BackupHierarchy`] implements that proposal: the EV8 global-history
+//! predictor delivers the primary prediction, and a perceptron over a
+//! longer history (the very "new prediction concept" the conclusion
+//! names) delivers a *late* prediction that overrides the primary only
+//! when its confidence clears a threshold. Every override that disagrees
+//! with the primary costs a front-end resteer (the price of the extra
+//! delay), which the hierarchy accounts for alongside the accuracy gain.
+
+use ev8_predictors::perceptron::Perceptron;
+use ev8_predictors::BranchPredictor;
+use ev8_trace::{BranchRecord, Outcome, Pc};
+
+use crate::config::Ev8Config;
+use crate::predictor::Ev8Predictor;
+
+/// Statistics of a hierarchy run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Conditional branches predicted.
+    pub branches: u64,
+    /// Mispredictions of the primary (EV8) predictor alone.
+    pub primary_mispredictions: u64,
+    /// Mispredictions of the combined hierarchy.
+    pub hierarchy_mispredictions: u64,
+    /// Times the backup overrode the primary prediction.
+    pub overrides: u64,
+    /// Overrides that corrected a primary misprediction.
+    pub overrides_correct: u64,
+    /// Overrides that broke a correct primary prediction.
+    pub overrides_harmful: u64,
+}
+
+impl HierarchyStats {
+    /// Net mispredictions removed by the backup stage.
+    pub fn net_gain(&self) -> i64 {
+        self.primary_mispredictions as i64 - self.hierarchy_mispredictions as i64
+    }
+
+    /// Fraction of overrides that were beneficial.
+    pub fn override_precision(&self) -> f64 {
+        if self.overrides == 0 {
+            0.0
+        } else {
+            self.overrides_correct as f64 / self.overrides as f64
+        }
+    }
+}
+
+/// The EV8 predictor backed by a late, confidence-gated perceptron.
+///
+/// # Example
+///
+/// ```
+/// use ev8_core::backup::BackupHierarchy;
+/// use ev8_predictors::BranchPredictor;
+/// use ev8_trace::{BranchRecord, Pc};
+///
+/// let mut h = BackupHierarchy::default_hierarchy();
+/// let rec = BranchRecord::conditional(Pc::new(0x1000), Pc::new(0x2000), true);
+/// h.predict_and_update(&rec);
+/// assert_eq!(h.stats().branches, 1);
+/// ```
+pub struct BackupHierarchy {
+    primary: Ev8Predictor,
+    backup: Perceptron,
+    /// The backup overrides only when `|output|` exceeds this multiple of
+    /// its training threshold.
+    confidence: f64,
+    stats: HierarchyStats,
+}
+
+impl BackupHierarchy {
+    /// Creates a hierarchy from an EV8 configuration, a backup perceptron
+    /// and a confidence multiplier (the backup overrides when its output
+    /// magnitude exceeds `confidence × threshold`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not positive.
+    pub fn new(config: Ev8Config, backup: Perceptron, confidence: f64) -> Self {
+        assert!(confidence > 0.0, "confidence multiplier must be positive");
+        BackupHierarchy {
+            primary: Ev8Predictor::new(config),
+            backup,
+            confidence,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The configuration used in the backup experiment: the shipping EV8
+    /// plus a 2^12-entry perceptron over 32 bits of history, overriding
+    /// at 1.5× its training threshold.
+    pub fn default_hierarchy() -> Self {
+        BackupHierarchy::new(Ev8Config::ev8(), Perceptron::new(12, 32), 1.5)
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+}
+
+impl BranchPredictor for BackupHierarchy {
+    fn predict(&self, pc: Pc) -> Outcome {
+        // Best-effort combined prediction outside the record-driven path.
+        let primary = self.primary.predict(pc);
+        let output = self.backup.output(pc);
+        if output.abs() as f64 > self.confidence * self.backup.threshold() as f64 {
+            Outcome::from(output >= 0)
+        } else {
+            primary
+        }
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        self.primary.update(pc, outcome);
+        self.backup.update(pc, outcome);
+    }
+
+    fn note_noncond(&mut self, record: &BranchRecord) {
+        self.primary.note_noncond(record);
+    }
+
+    fn predict_and_update(&mut self, record: &BranchRecord) -> Option<Outcome> {
+        if !record.kind.is_conditional() {
+            self.primary.predict_and_update(record);
+            return None;
+        }
+        let backup_output = self.backup.output(record.pc);
+        let primary = self
+            .primary
+            .predict_and_update(record)
+            .expect("conditional record yields a prediction");
+        let confident =
+            backup_output.abs() as f64 > self.confidence * self.backup.threshold() as f64;
+        let backup_prediction = Outcome::from(backup_output >= 0);
+        let overall = if confident { backup_prediction } else { primary };
+
+        self.stats.branches += 1;
+        if primary != record.outcome {
+            self.stats.primary_mispredictions += 1;
+        }
+        if overall != record.outcome {
+            self.stats.hierarchy_mispredictions += 1;
+        }
+        if confident && backup_prediction != primary {
+            self.stats.overrides += 1;
+            if backup_prediction == record.outcome {
+                self.stats.overrides_correct += 1;
+            } else {
+                self.stats.overrides_harmful += 1;
+            }
+        }
+        self.backup.update(record.pc, record.outcome);
+        Some(overall)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "hierarchy [{} + backup {} @ {:.1}x]",
+            self.primary.name(),
+            self.backup.name(),
+            self.confidence
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.primary.storage_bits() + self.backup.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taken(pc: u64, target: u64) -> BranchRecord {
+        BranchRecord::conditional(Pc::new(pc), Pc::new(target), true)
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let mut h = BackupHierarchy::default_hierarchy();
+        for i in 0..500u64 {
+            let pc = 0x1000 + (i % 7) * 0x40;
+            h.predict_and_update(&taken(pc, pc + 0x40));
+        }
+        let s = h.stats();
+        assert_eq!(s.branches, 500);
+        assert!(s.hierarchy_mispredictions <= s.branches);
+        assert_eq!(
+            s.overrides,
+            s.overrides_correct + s.overrides_harmful,
+            "every override is either correct or harmful"
+        );
+        // Net gain accounting matches the override ledger.
+        assert_eq!(
+            s.net_gain(),
+            s.overrides_correct as i64 - s.overrides_harmful as i64
+        );
+    }
+
+    #[test]
+    fn backup_never_fires_without_confidence() {
+        // An enormous confidence multiplier disables overrides entirely:
+        // the hierarchy equals the primary.
+        let mut h = BackupHierarchy::new(Ev8Config::ev8(), Perceptron::new(8, 16), 1e9);
+        for i in 0..300u64 {
+            let pc = 0x2000 + (i % 5) * 0x40;
+            h.predict_and_update(&taken(pc, pc + 0x40));
+        }
+        let s = h.stats();
+        assert_eq!(s.overrides, 0);
+        assert_eq!(s.primary_mispredictions, s.hierarchy_mispredictions);
+        assert_eq!(s.net_gain(), 0);
+    }
+
+    #[test]
+    fn storage_adds_both_stages() {
+        let h = BackupHierarchy::default_hierarchy();
+        assert_eq!(
+            h.storage_bits(),
+            352 * 1024 + Perceptron::new(12, 32).storage_bits()
+        );
+        assert!(h.name().contains("backup"));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence multiplier must be positive")]
+    fn zero_confidence_rejected() {
+        BackupHierarchy::new(Ev8Config::ev8(), Perceptron::new(8, 16), 0.0);
+    }
+}

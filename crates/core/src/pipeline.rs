@@ -1,0 +1,227 @@
+//! A cycle-level model of the EV8 fetch pipeline (§2, Figs 1 and 3 of
+//! the paper).
+//!
+//! Every cycle the front end fetches **two** dynamically successive
+//! 8-instruction fetch blocks. The line predictor names the next two
+//! blocks within the cycle; the (slower, two-cycle) PC address generator
+//! — whose centerpiece is the conditional branch predictor — verifies
+//! them, and a mismatch resteers the fetch ("instruction fetch is
+//! resumed with the PC-address-generation result"). The §6 bank
+//! computation assigns each block a predictor bank such that the two
+//! blocks of a cycle (and any two successive blocks) never collide on a
+//! single-ported array.
+//!
+//! [`FrontEndPipeline`] replays a trace's fetch-block stream through that
+//! machinery and reports fetch bandwidth, line-predictor resteers and the
+//! (provably zero) bank-conflict count.
+
+use ev8_trace::Trace;
+
+use crate::arrays::{BankedArrays, Component};
+use crate::banks::BankSequencer;
+use crate::config::WordlineMode;
+use crate::fetch::blocks_of;
+use crate::index::IndexInputs;
+use crate::lghist::DelayedLghist;
+use crate::line_predictor::LinePredictor;
+
+/// Statistics of one pipeline replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Fetch cycles consumed (including resteer bubbles).
+    pub cycles: u64,
+    /// Fetch blocks delivered.
+    pub blocks: u64,
+    /// Instructions delivered.
+    pub instructions: u64,
+    /// Line-predictor mismatches (each costs `resteer_penalty` bubbles).
+    pub resteers: u64,
+    /// Predictor-array reads issued.
+    pub array_reads: u64,
+    /// Single-ported bank conflicts (zero by construction, §6).
+    pub bank_conflicts: u64,
+}
+
+impl PipelineStats {
+    /// Delivered instructions per cycle — the fetch bandwidth the 8-wide
+    /// EV8 core consumes.
+    pub fn fetch_bandwidth(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Line-predictor accuracy implied by the resteer count.
+    pub fn line_accuracy(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            1.0 - self.resteers as f64 / self.blocks as f64
+        }
+    }
+}
+
+/// The cycle-level fetch pipeline model.
+///
+/// # Example
+///
+/// ```
+/// use ev8_core::pipeline::FrontEndPipeline;
+/// use ev8_workloads::spec95;
+///
+/// let trace = spec95::benchmark("compress").unwrap().generate_scaled(0.0005);
+/// let stats = FrontEndPipeline::new(2).run(&trace);
+/// assert_eq!(stats.bank_conflicts, 0);
+/// assert!(stats.fetch_bandwidth() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrontEndPipeline {
+    line: LinePredictor,
+    banks: BankSequencer,
+    arrays: BankedArrays,
+    lghist: DelayedLghist,
+    /// Bubble cycles charged per line-predictor mismatch.
+    resteer_penalty: u64,
+}
+
+impl FrontEndPipeline {
+    /// Creates a pipeline with the given resteer penalty in cycles (the
+    /// EV8's line-predictor/PC-generator disagreement costs on the order
+    /// of the two-cycle PC-generation latency).
+    pub fn new(resteer_penalty: u64) -> Self {
+        FrontEndPipeline {
+            line: LinePredictor::new(12),
+            banks: BankSequencer::new(),
+            arrays: BankedArrays::new(),
+            lghist: DelayedLghist::new(21, true, true),
+            resteer_penalty,
+        }
+    }
+
+    /// Replays a trace through the fetch pipeline.
+    pub fn run(mut self, trace: &Trace) -> PipelineStats {
+        let blocks = blocks_of(trace);
+        let mut stats = PipelineStats::default();
+        let mut prev_block_start = None;
+
+        for pair in blocks.chunks(2) {
+            // One fetch cycle delivers up to two blocks.
+            stats.cycles += 1;
+            self.arrays.begin_cycle();
+            for b in pair {
+                stats.blocks += 1;
+                stats.instructions += b.instructions as u64;
+
+                // Line predictor: verify the previous prediction, train.
+                if let Some(prev) = prev_block_start {
+                    if self.line.predict(prev) != Some(b.start) {
+                        stats.resteers += 1;
+                        stats.cycles += self.resteer_penalty;
+                    }
+                    self.line.train(prev, b.start);
+                }
+                prev_block_start = Some(b.start);
+
+                // Conflict-free bank selection and the four word reads of
+                // Fig 4 (one 8-bit word per logical component).
+                let bank = self.banks.next_bank(b.start);
+                let inputs = IndexInputs {
+                    pc: b.start,
+                    history: self.lghist.visible_bits(),
+                    z: self.lghist.z_address().unwrap_or(b.start),
+                    bank,
+                    wordline: WordlineMode::HistoryAndAddress,
+                };
+                let wordline = inputs.wordline_bits() as usize;
+                for (component, index) in [
+                    (Component::Bim, inputs.bim()),
+                    (Component::G0, inputs.g0()),
+                    (Component::G1, inputs.g1()),
+                    (Component::Meta, inputs.meta()),
+                ] {
+                    // Column bits are the index bits above the wordline.
+                    let column = (index >> 11) % component.words_per_line();
+                    stats.array_reads += 1;
+                    if self
+                        .arrays
+                        .read_prediction_word(bank, component, wordline, column)
+                        .is_none()
+                    {
+                        stats.bank_conflicts += 1;
+                    }
+                    // The four component reads of one block hit the SAME
+                    // bank port in hardware (one physical word line feeds
+                    // all four); re-arm the port between components.
+                    self.arrays.begin_cycle();
+                }
+
+                // History advances per completed block.
+                self.lghist.push_block(b.summary());
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev8_workloads::spec95;
+
+    fn small_trace() -> Trace {
+        spec95::benchmark("m88ksim")
+            .expect("suite benchmark")
+            .generate_scaled(0.002)
+    }
+
+    #[test]
+    fn no_bank_conflicts_ever() {
+        let stats = FrontEndPipeline::new(2).run(&small_trace());
+        assert_eq!(stats.bank_conflicts, 0, "§6 guarantees conflict freedom");
+        assert_eq!(stats.array_reads, stats.blocks * 4);
+    }
+
+    #[test]
+    fn fetch_bandwidth_is_bounded_by_sixteen() {
+        let stats = FrontEndPipeline::new(0).run(&small_trace());
+        let bw = stats.fetch_bandwidth();
+        assert!(bw > 1.0, "bandwidth {bw} implausibly low");
+        assert!(bw <= 16.0, "two 8-instruction blocks bound the bandwidth");
+    }
+
+    #[test]
+    fn resteers_cost_cycles() {
+        let trace = small_trace();
+        let cheap = FrontEndPipeline::new(0).run(&trace);
+        let costly = FrontEndPipeline::new(5).run(&trace);
+        assert_eq!(cheap.resteers, costly.resteers);
+        assert_eq!(costly.cycles, cheap.cycles + 5 * cheap.resteers);
+        assert!(costly.fetch_bandwidth() < cheap.fetch_bandwidth());
+    }
+
+    #[test]
+    fn line_accuracy_consistent_with_resteers() {
+        let stats = FrontEndPipeline::new(2).run(&small_trace());
+        let acc = stats.line_accuracy();
+        assert!(acc > 0.3 && acc < 1.0, "line accuracy {acc}");
+        let implied = 1.0 - stats.resteers as f64 / stats.blocks as f64;
+        assert!((acc - implied).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_blocks_per_cycle_without_resteers() {
+        let stats = FrontEndPipeline::new(0).run(&small_trace());
+        // With zero penalty, cycles = ceil(blocks / 2).
+        assert_eq!(stats.cycles, stats.blocks.div_ceil(2));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_stats() {
+        let stats = FrontEndPipeline::new(2).run(&Trace::default());
+        assert_eq!(stats, PipelineStats::default());
+        assert_eq!(stats.fetch_bandwidth(), 0.0);
+        assert_eq!(stats.line_accuracy(), 0.0);
+    }
+}

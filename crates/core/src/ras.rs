@@ -1,0 +1,302 @@
+//! Return-address stack and indirect-jump predictor — the remaining
+//! pieces of the EV8 PC address generator (§2 of the paper):
+//!
+//! "This includes a conditional branch predictor, a jump predictor, a
+//! return address stack predictor, conditional branch target address
+//! computation ... and final address selection."
+//!
+//! The conditional branch predictor lives in [`crate::predictor`]; this
+//! module supplies the other two dynamic predictors so the full
+//! PC-address-generation path can be simulated.
+
+use ev8_trace::Pc;
+
+/// A fixed-depth return address stack (RAS).
+///
+/// Calls push their return address; returns pop the predicted target.
+/// On overflow the oldest entry is overwritten (circular), as in real
+/// hardware — deep recursion therefore mispredicts on the way out, which
+/// is the behaviour the `li` analogue (recursive interpreter) exercises.
+///
+/// # Example
+///
+/// ```
+/// use ev8_core::ras::ReturnAddressStack;
+/// use ev8_trace::Pc;
+///
+/// let mut ras = ReturnAddressStack::new(8);
+/// ras.push(Pc::new(0x1004));
+/// assert_eq!(ras.pop(), Some(Pc::new(0x1004)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<Pc>,
+    top: usize,
+    depth: usize,
+    capacity: usize,
+    predictions: u64,
+    hits: u64,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        ReturnAddressStack {
+            entries: vec![Pc::new(0); capacity],
+            top: 0,
+            depth: 0,
+            capacity,
+            predictions: 0,
+            hits: 0,
+        }
+    }
+
+    /// Pushes a return address (on a call). Overwrites the oldest entry
+    /// when full.
+    pub fn push(&mut self, return_address: Pc) {
+        self.entries[self.top] = return_address;
+        self.top = (self.top + 1) % self.capacity;
+        self.depth = (self.depth + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return target (on a return); `None` when empty.
+    pub fn pop(&mut self) -> Option<Pc> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.depth -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Predicts a return and scores it against the actual target,
+    /// updating the accuracy counters.
+    pub fn predict_return(&mut self, actual_target: Pc) -> bool {
+        self.predictions += 1;
+        let hit = self.pop() == Some(actual_target);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Fraction of scored returns predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.predictions as f64
+        }
+    }
+
+    /// Number of scored return predictions.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+/// A last-target indirect jump predictor with partial tags.
+///
+/// Each entry caches the most recent target of an indirect jump site; a
+/// partial tag limits destructive aliasing between sites.
+///
+/// # Example
+///
+/// ```
+/// use ev8_core::ras::JumpPredictor;
+/// use ev8_trace::Pc;
+///
+/// let mut jp = JumpPredictor::new(8, 6);
+/// jp.train(Pc::new(0x1000), Pc::new(0x4000));
+/// assert_eq!(jp.predict(Pc::new(0x1000)), Some(Pc::new(0x4000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct JumpPredictor {
+    entries: Vec<Option<(u16, Pc)>>,
+    index_bits: u32,
+    tag_bits: u32,
+    predictions: u64,
+    hits: u64,
+}
+
+impl JumpPredictor {
+    /// Creates a jump predictor with `2^index_bits` entries and
+    /// `tag_bits`-bit partial tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is not in `1..=20` or `tag_bits` not in
+    /// `1..=16`.
+    pub fn new(index_bits: u32, tag_bits: u32) -> Self {
+        assert!((1..=20).contains(&index_bits), "index_bits must be 1..=20");
+        assert!((1..=16).contains(&tag_bits), "tag_bits must be 1..=16");
+        JumpPredictor {
+            entries: vec![None; 1 << index_bits],
+            index_bits,
+            tag_bits,
+            predictions: 0,
+            hits: 0,
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        pc.bits(2, self.index_bits) as usize
+    }
+
+    fn tag(&self, pc: Pc) -> u16 {
+        pc.bits(2 + self.index_bits, self.tag_bits) as u16
+    }
+
+    /// Predicts the target of the indirect jump at `pc`; `None` on a cold
+    /// or tag-mismatched entry.
+    pub fn predict(&self, pc: Pc) -> Option<Pc> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == self.tag(pc) => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Trains the entry for `pc` with the actual target and updates the
+    /// accuracy counters.
+    pub fn train(&mut self, pc: Pc, actual_target: Pc) {
+        self.predictions += 1;
+        if self.predict(pc) == Some(actual_target) {
+            self.hits += 1;
+        }
+        let idx = self.index(pc);
+        self.entries[idx] = Some((self.tag(pc), actual_target));
+    }
+
+    /// Fraction of trained jumps whose prior prediction was correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.predictions as f64
+        }
+    }
+
+    /// Storage cost in bits (tag + a 32-bit target per entry).
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * (self.tag_bits as u64 + 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(Pc::new(0x10));
+        ras.push(Pc::new(0x20));
+        ras.push(Pc::new(0x30));
+        assert_eq!(ras.depth(), 3);
+        assert_eq!(ras.pop(), Some(Pc::new(0x30)));
+        assert_eq!(ras.pop(), Some(Pc::new(0x20)));
+        assert_eq!(ras.pop(), Some(Pc::new(0x10)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Pc::new(0x10));
+        ras.push(Pc::new(0x20));
+        ras.push(Pc::new(0x30)); // overwrites 0x10
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(Pc::new(0x30)));
+        assert_eq!(ras.pop(), Some(Pc::new(0x20)));
+        assert_eq!(ras.pop(), None, "the overwritten entry must be gone");
+    }
+
+    #[test]
+    fn balanced_call_return_is_perfect() {
+        let mut ras = ReturnAddressStack::new(16);
+        for depth in 0..8u64 {
+            ras.push(Pc::new(0x1000 + depth * 8));
+        }
+        for depth in (0..8u64).rev() {
+            assert!(ras.predict_return(Pc::new(0x1000 + depth * 8)));
+        }
+        assert_eq!(ras.accuracy(), 1.0);
+        assert_eq!(ras.predictions(), 8);
+    }
+
+    #[test]
+    fn deep_recursion_mispredicts_past_capacity() {
+        let mut ras = ReturnAddressStack::new(4);
+        for depth in 0..8u64 {
+            ras.push(Pc::new(0x1000 + depth * 8));
+        }
+        // The innermost 4 returns hit, the outer 4 miss (overwritten).
+        let mut hits = 0;
+        for depth in (0..8u64).rev() {
+            if ras.predict_return(Pc::new(0x1000 + depth * 8)) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 4);
+        assert!((ras.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jump_predictor_last_target() {
+        let mut jp = JumpPredictor::new(6, 6);
+        let site = Pc::new(0x2000);
+        jp.train(site, Pc::new(0x4000)); // cold: miss
+        assert_eq!(jp.predict(site), Some(Pc::new(0x4000)));
+        jp.train(site, Pc::new(0x4000)); // stable target: hit
+        // Target change: one miss then retrained.
+        jp.train(site, Pc::new(0x5000)); // miss
+        assert_eq!(jp.predict(site), Some(Pc::new(0x5000)));
+        assert!((jp.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jump_predictor_tag_rejects_aliases() {
+        let mut jp = JumpPredictor::new(4, 8);
+        let a = Pc::new(0x100);
+        // Same index, different tag: 2^(4+2) bytes apart.
+        let b = Pc::new(0x100 + (1 << 6));
+        assert_eq!(jp.index(a), jp.index(b));
+        jp.train(a, Pc::new(0x4000));
+        assert_eq!(jp.predict(b), None, "tag must reject the alias");
+    }
+
+    #[test]
+    fn alternating_targets_thrash() {
+        let mut jp = JumpPredictor::new(6, 6);
+        let site = Pc::new(0x300);
+        for i in 0..50u64 {
+            let target = if i % 2 == 0 { 0x4000 } else { 0x5000 };
+            jp.train(site, Pc::new(target));
+        }
+        assert!(jp.accuracy() < 0.1, "last-target cannot learn alternation");
+    }
+
+    #[test]
+    fn storage_and_bounds() {
+        let jp = JumpPredictor::new(8, 6);
+        assert_eq!(jp.storage_bits(), 256 * 38);
+        assert_eq!(jp.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAS capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ReturnAddressStack::new(0);
+    }
+}

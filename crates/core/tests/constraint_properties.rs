@@ -1,0 +1,147 @@
+//! Property-based tests of the EV8 hardware-constraint machinery: the
+//! invariants of §6 (banking) and §7 (index functions) on arbitrary
+//! inputs, and the fetch/lghist pipeline on arbitrary record streams.
+
+use proptest::prelude::*;
+
+use ev8_core::config::WordlineMode;
+use ev8_core::index::IndexInputs;
+use ev8_core::lghist::{BlockSummary, DelayedLghist};
+use ev8_core::{Ev8Predictor, HistoryMode, IndexScheme};
+use ev8_predictors::BranchPredictor;
+use ev8_trace::{BranchKind, BranchRecord, Outcome, Pc};
+
+fn arb_inputs() -> impl Strategy<Value = IndexInputs> {
+    (any::<u32>(), any::<u64>(), any::<u32>(), 0u8..4).prop_map(|(pc, h, z, bank)| IndexInputs {
+        pc: Pc::new(pc as u64),
+        history: h,
+        z: Pc::new(z as u64),
+        bank,
+        wordline: WordlineMode::HistoryAndAddress,
+    })
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<BranchRecord>> {
+    prop::collection::vec(
+        (any::<u16>(), any::<u16>(), any::<bool>(), 0u32..40, any::<bool>()),
+        1..300,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(pc, target, taken, gap, is_call)| {
+                let pc = Pc::new(0x1_0000 + pc as u64 * 4);
+                let target = Pc::new(0x1_0000 + target as u64 * 4);
+                if is_call {
+                    BranchRecord::always_taken(pc, target, BranchKind::Call).with_gap(gap)
+                } else {
+                    BranchRecord::conditional(pc, target, taken).with_gap(gap)
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indices_always_in_range(inputs in arb_inputs()) {
+        prop_assert!(inputs.bim() < 1 << 14);
+        prop_assert!(inputs.g0() < 1 << 16);
+        prop_assert!(inputs.g1() < 1 << 16);
+        prop_assert!(inputs.meta() < 1 << 16);
+    }
+
+    #[test]
+    fn shared_bits_are_shared(inputs in arb_inputs()) {
+        // §7.3: all four tables share the bank (i1,i0) and wordline
+        // (i10..i5) bits.
+        let idxs = [inputs.bim(), inputs.g0(), inputs.g1(), inputs.meta()];
+        for idx in idxs {
+            prop_assert_eq!((idx & 0b11) as u8, inputs.bank);
+            prop_assert_eq!(((idx >> 5) & 0x3F) as u64, inputs.wordline_bits());
+        }
+    }
+
+    #[test]
+    fn block_slots_stay_distinct(
+        base in any::<u32>(),
+        h in any::<u64>(),
+        z in any::<u32>(),
+        bank in 0u8..4,
+    ) {
+        // The unshuffle must keep the 8 predictions of one fetch block in
+        // 8 distinct word positions, for every table and any context.
+        let base = (base as u64 * 4) & !0b11111;
+        for table in 0..4u8 {
+            let mut seen = [false; 8];
+            for slot in 0..8u64 {
+                let inputs = IndexInputs {
+                    pc: Pc::new(base + slot * 4),
+                    history: h,
+                    z: Pc::new(z as u64),
+                    bank,
+                    wordline: WordlineMode::HistoryAndAddress,
+                };
+                let idx = match table {
+                    0 => inputs.bim(),
+                    1 => inputs.g0(),
+                    2 => inputs.g1(),
+                    _ => inputs.meta(),
+                };
+                let offset = (idx >> 2) & 0b111;
+                prop_assert!(!seen[offset], "slot collision in table {}", table);
+                seen[offset] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn lghist_visible_length_respected(
+        blocks in prop::collection::vec((any::<u32>(), any::<bool>(), any::<bool>()), 0..200),
+        len in 0u32..=21,
+    ) {
+        let mut h = DelayedLghist::new(len, true, true);
+        for (addr, has_cond, taken) in blocks {
+            let addr = Pc::new(addr as u64 & !0b11111);
+            h.push_block(BlockSummary {
+                address: addr,
+                last_conditional: has_cond.then_some((addr, Outcome::from(taken))),
+            });
+            if len < 64 {
+                prop_assert!(h.visible_bits() < (1u64 << len.max(1)) || len == 0);
+            }
+        }
+        if len == 0 {
+            prop_assert_eq!(h.visible_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn ev8_predictor_never_panics_and_counts_sanely(records in arb_records()) {
+        let mut p = Ev8Predictor::ev8();
+        let mut predictions = 0u64;
+        for rec in &records {
+            if p.predict_and_update(rec).is_some() {
+                predictions += 1;
+            }
+        }
+        let conditionals = records.iter().filter(|r| r.kind.is_conditional()).count() as u64;
+        prop_assert_eq!(predictions, conditionals);
+    }
+
+    #[test]
+    fn index_scheme_variants_agree_on_range(records in arb_records()) {
+        // The complete-hash variant must also stay in range and process
+        // any stream.
+        let cfg = ev8_core::Ev8Config::ev8()
+            .with_index(IndexScheme::CompleteHash)
+            .with_history(HistoryMode::lghist_path());
+        let mut p = Ev8Predictor::new(cfg);
+        for rec in &records {
+            p.predict_and_update(rec);
+        }
+        // Storage budget invariant.
+        prop_assert_eq!(p.storage_bits(), 352 * 1024);
+    }
+}

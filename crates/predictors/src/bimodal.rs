@@ -1,0 +1,148 @@
+//! Smith's bimodal predictor: a PC-indexed table of 2-bit counters.
+//!
+//! In the paper the bimodal table `BIM` is both a standalone baseline
+//! (Smith \[21\]) and a component of e-gskew and 2Bc-gskew: it "accurately
+//! predicts strongly biased static branches" (§4.2).
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::counter::Counter2;
+use crate::predictor::BranchPredictor;
+
+/// A bimodal predictor with `2^index_bits` 2-bit counters indexed by the
+/// branch address.
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::{bimodal::Bimodal, BranchPredictor};
+/// use ev8_trace::{Outcome, Pc};
+///
+/// let mut p = Bimodal::new(10);
+/// let pc = Pc::new(0x1000);
+/// p.update(pc, Outcome::Taken);
+/// assert_eq!(p.predict(pc), Outcome::Taken);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+    index_bits: u32,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^index_bits` counters, all
+    /// initialized weakly not taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 30.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+        Bimodal {
+            table: vec![Counter2::default(); 1 << index_bits],
+            index_bits,
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        pc.bits(2, self.index_bits) as usize
+    }
+
+    /// Number of counters in the table.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Reads the counter for a PC (exposed for hybrid predictors built on
+    /// top of a bimodal component).
+    pub fn counter(&self, pc: Pc) -> Counter2 {
+        self.table[self.index(pc)]
+    }
+
+    /// Trains the counter for a PC toward an outcome.
+    pub fn train(&mut self, pc: Pc, outcome: Outcome) {
+        let idx = self.index(pc);
+        self.table[idx].train(outcome);
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&self, pc: Pc) -> Outcome {
+        self.counter(pc).prediction()
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        self.train(pc, outcome);
+    }
+
+    fn name(&self) -> String {
+        format!("bimodal {}K entries", self.table.len() / 1024)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_bias_quickly() {
+        let mut p = Bimodal::new(8);
+        let pc = Pc::new(0x400);
+        assert_eq!(p.predict(pc), Outcome::NotTaken); // initial weakly-NT
+        p.update(pc, Outcome::Taken);
+        assert_eq!(p.predict(pc), Outcome::Taken);
+    }
+
+    #[test]
+    fn hysteresis_survives_one_anomaly() {
+        let mut p = Bimodal::new(8);
+        let pc = Pc::new(0x400);
+        for _ in 0..4 {
+            p.update(pc, Outcome::Taken); // saturate strongly taken
+        }
+        p.update(pc, Outcome::NotTaken); // one anomaly
+        assert_eq!(p.predict(pc), Outcome::Taken); // still taken
+        p.update(pc, Outcome::NotTaken);
+        assert_eq!(p.predict(pc), Outcome::NotTaken); // now flipped
+    }
+
+    #[test]
+    fn distinct_branches_use_distinct_entries() {
+        let mut p = Bimodal::new(8);
+        let a = Pc::new(0x100);
+        let b = Pc::new(0x104);
+        for _ in 0..2 {
+            p.update(a, Outcome::Taken);
+            p.update(b, Outcome::NotTaken);
+        }
+        assert_eq!(p.predict(a), Outcome::Taken);
+        assert_eq!(p.predict(b), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn aliasing_at_table_size_distance() {
+        let mut p = Bimodal::new(6);
+        let a = Pc::new(0x100);
+        let alias = Pc::new(0x100 + (1 << 8)); // 2^(6+2) bytes apart
+        p.update(a, Outcome::Taken);
+        assert_eq!(p.predict(alias), Outcome::Taken); // same entry
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = Bimodal::new(14); // 16K entries, as the EV8 BIM prediction table
+        assert_eq!(p.entries(), 16 * 1024);
+        assert_eq!(p.storage_bits(), 32 * 1024);
+        assert!(p.name().contains("16K"));
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits must be 1..=30")]
+    fn zero_index_bits_rejected() {
+        Bimodal::new(0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Saturating up/down counters — the storage element of every predictor
+//! table in the paper.
+
+use std::fmt;
+
+use ev8_trace::Outcome;
+
+/// An `N`-bit saturating up/down counter.
+///
+/// The value saturates at `0` and `2^N - 1`. The prediction is taken when
+/// the value is in the upper half (for the 2-bit counters of the paper:
+/// `2` = weakly taken, `3` = strongly taken).
+///
+/// The paper initializes all prediction table entries to *weakly not taken*
+/// (§8.1.1), which is [`SaturatingCounter::weakly_not_taken`].
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::counter::SaturatingCounter;
+/// use ev8_trace::Outcome;
+///
+/// let mut c = SaturatingCounter::<2>::weakly_not_taken();
+/// assert_eq!(c.prediction(), Outcome::NotTaken);
+/// c.train(Outcome::Taken);
+/// assert_eq!(c.prediction(), Outcome::Taken); // 1 -> 2: weakly taken
+/// c.train(Outcome::Taken);
+/// c.train(Outcome::Taken); // saturates at 3
+/// assert_eq!(c.value(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter<const N: u32> {
+    value: u8,
+}
+
+impl<const N: u32> SaturatingCounter<N> {
+    /// The maximum (strongly taken) counter value, `2^N - 1`.
+    pub const MAX: u8 = ((1u16 << N) - 1) as u8;
+
+    /// The weakly-taken value, `2^(N-1)`.
+    pub const WEAK_TAKEN: u8 = (1u16 << (N - 1)) as u8;
+
+    /// The weakly-not-taken value, `2^(N-1) - 1`.
+    pub const WEAK_NOT_TAKEN: u8 = ((1u16 << (N - 1)) - 1) as u8;
+
+    /// Creates a counter with an explicit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > 2^N - 1`.
+    pub fn new(value: u8) -> Self {
+        assert!(N >= 1 && N <= 7, "counter width must be 1..=7 bits");
+        assert!(value <= Self::MAX, "counter value out of range");
+        SaturatingCounter { value }
+    }
+
+    /// The paper's initial state: weakly not taken.
+    pub fn weakly_not_taken() -> Self {
+        Self::new(Self::WEAK_NOT_TAKEN)
+    }
+
+    /// Weakly-taken state.
+    pub fn weakly_taken() -> Self {
+        Self::new(Self::WEAK_TAKEN)
+    }
+
+    /// Current raw value.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// The outcome this counter predicts: taken iff the value is in the
+    /// upper half of its range (equivalently, the top bit is set).
+    #[inline]
+    pub fn prediction(self) -> Outcome {
+        Outcome::from(self.value >= Self::WEAK_TAKEN)
+    }
+
+    /// The prediction bit (the counter's most significant bit). For 2-bit
+    /// counters the EV8 stores this bit in the *prediction array*.
+    #[inline]
+    pub fn prediction_bit(self) -> u8 {
+        self.value >> (N - 1)
+    }
+
+    /// The hysteresis bits (everything below the prediction bit). For
+    /// 2-bit counters the EV8 stores this bit in the *hysteresis array*.
+    #[inline]
+    pub fn hysteresis_bits(self) -> u8 {
+        self.value & (Self::WEAK_TAKEN - 1)
+    }
+
+    /// Reassembles a counter from split prediction/hysteresis bits, as the
+    /// EV8's physically separate arrays do.
+    pub fn from_split(prediction_bit: u8, hysteresis_bits: u8) -> Self {
+        assert!(prediction_bit <= 1, "prediction bit must be 0 or 1");
+        assert!(
+            hysteresis_bits < Self::WEAK_TAKEN || N == 1,
+            "hysteresis bits out of range"
+        );
+        Self::new((prediction_bit << (N - 1)) | hysteresis_bits)
+    }
+
+    /// Trains the counter toward the outcome (saturating).
+    #[inline]
+    pub fn train(&mut self, outcome: Outcome) {
+        if outcome.is_taken() {
+            if self.value < Self::MAX {
+                self.value += 1;
+            }
+        } else if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Strengthens the counter in the direction it currently predicts
+    /// (the partial-update "strengthen" operation of §4.2: only the
+    /// hysteresis moves, the prediction bit cannot flip).
+    #[inline]
+    pub fn strengthen(&mut self) {
+        self.train(self.prediction());
+    }
+
+    /// Weakens the counter (moves one step toward the opposite
+    /// prediction).
+    #[inline]
+    pub fn weaken(&mut self) {
+        self.train(self.prediction().flipped());
+    }
+
+    /// True when the counter is at either saturation point.
+    #[inline]
+    pub fn is_saturated(self) -> bool {
+        self.value == 0 || self.value == Self::MAX
+    }
+}
+
+impl<const N: u32> Default for SaturatingCounter<N> {
+    /// Defaults to weakly-not-taken, the paper's initial predictor state.
+    fn default() -> Self {
+        Self::weakly_not_taken()
+    }
+}
+
+impl<const N: u32> fmt::Debug for SaturatingCounter<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ctr<{N}>({})", self.value)
+    }
+}
+
+/// The ubiquitous 2-bit counter of the paper's predictor tables.
+pub type Counter2 = SaturatingCounter<2>;
+
+/// A 3-bit counter (used by some hysteresis experiments).
+pub type Counter3 = SaturatingCounter<3>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_state_machine() {
+        let mut c = Counter2::new(0);
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        c.train(Outcome::Taken); // 1
+        assert_eq!(c.value(), 1);
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        c.train(Outcome::Taken); // 2
+        assert_eq!(c.prediction(), Outcome::Taken);
+        c.train(Outcome::Taken); // 3
+        c.train(Outcome::Taken); // saturate at 3
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated());
+        c.train(Outcome::NotTaken); // 2
+        assert_eq!(c.prediction(), Outcome::Taken);
+        c.train(Outcome::NotTaken); // 1
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        c.train(Outcome::NotTaken); // 0
+        c.train(Outcome::NotTaken); // saturate at 0
+        assert_eq!(c.value(), 0);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn initial_state_is_weakly_not_taken() {
+        let c = Counter2::default();
+        assert_eq!(c.value(), 1);
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        assert!(!c.is_saturated());
+    }
+
+    #[test]
+    fn strengthen_and_weaken() {
+        let mut c = Counter2::weakly_taken(); // 2
+        c.strengthen(); // 3
+        assert_eq!(c.value(), 3);
+        c.strengthen(); // stays 3
+        assert_eq!(c.value(), 3);
+        c.weaken(); // 2
+        assert_eq!(c.value(), 2);
+        c.weaken(); // 1 -- prediction flips
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        c.strengthen(); // 0: strengthens the not-taken prediction
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn split_prediction_hysteresis_roundtrip() {
+        for v in 0..=3u8 {
+            let c = Counter2::new(v);
+            let back = Counter2::from_split(c.prediction_bit(), c.hysteresis_bits());
+            assert_eq!(back, c);
+        }
+        assert_eq!(Counter2::new(3).prediction_bit(), 1);
+        assert_eq!(Counter2::new(3).hysteresis_bits(), 1);
+        assert_eq!(Counter2::new(1).prediction_bit(), 0);
+        assert_eq!(Counter2::new(1).hysteresis_bits(), 1);
+    }
+
+    #[test]
+    fn three_bit_counter_thresholds() {
+        let mut c = Counter3::weakly_not_taken();
+        assert_eq!(c.value(), 3);
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        c.train(Outcome::Taken);
+        assert_eq!(c.value(), 4);
+        assert_eq!(c.prediction(), Outcome::Taken);
+        assert_eq!(Counter3::MAX, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter value out of range")]
+    fn out_of_range_value_rejected() {
+        Counter2::new(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction bit must be 0 or 1")]
+    fn bad_prediction_bit_rejected() {
+        Counter2::from_split(2, 0);
+    }
+
+    #[test]
+    fn one_bit_counter() {
+        let mut c = SaturatingCounter::<1>::new(0);
+        assert_eq!(c.prediction(), Outcome::NotTaken);
+        c.train(Outcome::Taken);
+        assert_eq!(c.value(), 1);
+        assert_eq!(c.prediction(), Outcome::Taken);
+        assert_eq!(c.hysteresis_bits(), 0);
+        assert_eq!(c.prediction_bit(), 1);
+    }
+
+    #[test]
+    fn debug_format_nonempty() {
+        assert_eq!(format!("{:?}", Counter2::new(2)), "Ctr<2>(2)");
+    }
+}

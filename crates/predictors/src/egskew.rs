@@ -1,0 +1,223 @@
+//! The enhanced skewed branch predictor e-gskew (Michaud, Seznec, Uhlig
+//! \[15\]) — "a very efficient single component branch predictor and
+//! therefore a natural candidate as a component for a hybrid predictor"
+//! (§4.1). e-gskew is the G0/G1/BIM majority core of 2Bc-gskew.
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::counter::Counter2;
+use crate::history::GlobalHistory;
+use crate::predictor::BranchPredictor;
+use crate::skew::InfoVector;
+
+/// Majority vote over three outcomes.
+pub(crate) fn majority(a: Outcome, b: Outcome, c: Outcome) -> Outcome {
+    let votes = a.as_bit() + b.as_bit() + c.as_bit();
+    Outcome::from(votes >= 2)
+}
+
+/// The e-gskew predictor: three banks of 2-bit counters (a PC-indexed BIM
+/// bank and two skew-indexed banks G0/G1), combined by majority vote and
+/// trained with the partial update policy of \[15\]:
+///
+/// * on a correct prediction, strengthen only the banks that voted with the
+///   outcome;
+/// * on a misprediction, train all three banks toward the outcome.
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::{egskew::EGskew, BranchPredictor};
+/// use ev8_trace::{Outcome, Pc};
+///
+/// let mut p = EGskew::new(12, 12);
+/// p.update(Pc::new(0x1000), Outcome::Taken);
+/// assert_eq!(p.storage_bits(), 3 * (1 << 12) * 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EGskew {
+    bim: Vec<Counter2>,
+    g0: Vec<Counter2>,
+    g1: Vec<Counter2>,
+    index_bits: u32,
+    history: GlobalHistory,
+}
+
+impl EGskew {
+    /// Creates an e-gskew predictor with three banks of `2^index_bits`
+    /// counters and `history_length` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is not in `1..=30` or `history_length > 64`.
+    pub fn new(index_bits: u32, history_length: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+        EGskew {
+            bim: vec![Counter2::default(); 1 << index_bits],
+            g0: vec![Counter2::default(); 1 << index_bits],
+            g1: vec![Counter2::default(); 1 << index_bits],
+            index_bits,
+            history: GlobalHistory::new(history_length),
+        }
+    }
+
+    fn bim_index(&self, pc: Pc) -> usize {
+        pc.bits(2, self.index_bits) as usize
+    }
+
+    fn g_indices(&self, pc: Pc) -> (usize, usize) {
+        let iv = InfoVector::new(pc, self.history.bits(), self.history.length(), self.index_bits);
+        (iv.index(1) as usize, iv.index(2) as usize)
+    }
+
+    fn votes(&self, pc: Pc) -> (Outcome, Outcome, Outcome) {
+        let (i0, i1) = self.g_indices(pc);
+        (
+            self.bim[self.bim_index(pc)].prediction(),
+            self.g0[i0].prediction(),
+            self.g1[i1].prediction(),
+        )
+    }
+}
+
+impl BranchPredictor for EGskew {
+    fn predict(&self, pc: Pc) -> Outcome {
+        let (b, g0, g1) = self.votes(pc);
+        majority(b, g0, g1)
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        let (b, g0, g1) = self.votes(pc);
+        let prediction = majority(b, g0, g1);
+        let bi = self.bim_index(pc);
+        let (i0, i1) = self.g_indices(pc);
+
+        if prediction == outcome {
+            // Partial update: strengthen only the agreeing banks.
+            if b == outcome {
+                self.bim[bi].strengthen();
+            }
+            if g0 == outcome {
+                self.g0[i0].strengthen();
+            }
+            if g1 == outcome {
+                self.g1[i1].strengthen();
+            }
+        } else {
+            self.bim[bi].train(outcome);
+            self.g0[i0].train(outcome);
+            self.g1[i1].train(outcome);
+        }
+        self.history.push(outcome);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "e-gskew 3x{}K entries, h={}",
+            self.bim.len() / 1024,
+            self.history.length()
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        3 * self.bim.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_truth_table() {
+        use Outcome::{NotTaken as N, Taken as T};
+        assert_eq!(majority(T, T, T), T);
+        assert_eq!(majority(T, T, N), T);
+        assert_eq!(majority(T, N, N), N);
+        assert_eq!(majority(N, N, N), N);
+        assert_eq!(majority(N, T, T), T);
+        assert_eq!(majority(N, N, T), N);
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = EGskew::new(8, 4);
+        let pc = Pc::new(0x1000);
+        // The first 4 updates churn the history register; once it
+        // saturates to all-taken the G0/G1 indices stabilize and train.
+        for _ in 0..12 {
+            p.update(pc, Outcome::Taken);
+        }
+        assert_eq!(p.predict(pc), Outcome::Taken);
+    }
+
+    #[test]
+    fn learns_history_pattern() {
+        let mut p = EGskew::new(10, 10);
+        let pc = Pc::new(0x1000);
+        let mut correct = 0;
+        let total = 400;
+        for i in 0..total {
+            let o = Outcome::from((i / 2) % 2 == 0); // period-4 pattern TTNN
+            if p.predict(pc) == o {
+                correct += 1;
+            }
+            p.update(pc, o);
+        }
+        assert!(correct > total * 9 / 10, "got {correct}/{total}");
+    }
+
+    #[test]
+    fn partial_update_leaves_losing_bank_untrained() {
+        let mut p = EGskew::new(6, 0);
+        let pc = Pc::new(0x100);
+        // Train to strongly taken everywhere.
+        for _ in 0..4 {
+            p.update(pc, Outcome::Taken);
+        }
+        // All banks strongly taken (value 3). One correct prediction
+        // should strengthen (no-op at saturation) but never weaken.
+        let before: Vec<u8> = p.g0.iter().map(|c| c.value()).collect();
+        p.update(pc, Outcome::Taken);
+        let after: Vec<u8> = p.g0.iter().map(|c| c.value()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn misprediction_trains_all_banks() {
+        let mut p = EGskew::new(6, 0);
+        let pc = Pc::new(0x100);
+        for _ in 0..4 {
+            p.update(pc, Outcome::Taken);
+        }
+        let bi = p.bim_index(pc);
+        let (i0, i1) = p.g_indices(pc);
+        let before = (p.bim[bi].value(), p.g0[i0].value(), p.g1[i1].value());
+        p.update(pc, Outcome::NotTaken); // misprediction
+        let after = (p.bim[bi].value(), p.g0[i0].value(), p.g1[i1].value());
+        assert_eq!(after.0, before.0 - 1);
+        assert_eq!(after.1, before.1 - 1);
+        assert_eq!(after.2, before.2 - 1);
+    }
+
+    #[test]
+    fn survives_single_bank_aliasing() {
+        // De-aliasing property: damage one G0 entry; the majority of the
+        // other two banks still predicts correctly.
+        let mut p = EGskew::new(8, 4);
+        let pc = Pc::new(0x1000);
+        for _ in 0..8 {
+            p.update(pc, Outcome::Taken);
+        }
+        let (i0, _) = p.g_indices(pc);
+        p.g0[i0] = Counter2::new(0); // aliased away by another branch
+        assert_eq!(p.predict(pc), Outcome::Taken);
+    }
+
+    #[test]
+    fn storage_and_name() {
+        let p = EGskew::new(13, 13);
+        assert_eq!(p.storage_bits(), 3 * 8192 * 2);
+        assert!(p.name().contains("e-gskew"));
+    }
+}

@@ -1,0 +1,138 @@
+//! GAs / gselect: a two-level predictor concatenating global history and
+//! address bits, after Yeh & Patt \[27\] — one of the "aliased" global
+//! schemes the de-aliased predictors of the paper improve upon.
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::counter::Counter2;
+use crate::history::GlobalHistory;
+use crate::predictor::BranchPredictor;
+
+/// A gselect (GAs) predictor: the table index is the concatenation of
+/// `history_bits` of global history and `index_bits - history_bits` PC
+/// bits.
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::{gselect::Gselect, BranchPredictor};
+/// use ev8_trace::{Outcome, Pc};
+///
+/// let mut p = Gselect::new(12, 6);
+/// p.update(Pc::new(0x1000), Outcome::Taken);
+/// assert_eq!(p.storage_bits(), (1 << 12) * 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gselect {
+    table: Vec<Counter2>,
+    index_bits: u32,
+    history_bits: u32,
+    history: GlobalHistory,
+}
+
+impl Gselect {
+    /// Creates a gselect predictor with `2^index_bits` counters, of whose
+    /// index `history_bits` come from global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 30, or if
+    /// `history_bits > index_bits`.
+    pub fn new(index_bits: u32, history_bits: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+        assert!(
+            history_bits <= index_bits,
+            "history bits cannot exceed index bits in gselect"
+        );
+        Gselect {
+            table: vec![Counter2::default(); 1 << index_bits],
+            index_bits,
+            history_bits,
+            history: GlobalHistory::new(history_bits),
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        let addr_bits = self.index_bits - self.history_bits;
+        let addr = if addr_bits == 0 { 0 } else { pc.bits(2, addr_bits) };
+        ((self.history.low_bits(self.history_bits) << addr_bits) | addr) as usize
+    }
+}
+
+impl BranchPredictor for Gselect {
+    fn predict(&self, pc: Pc) -> Outcome {
+        self.table[self.index(pc)].prediction()
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        let idx = self.index(pc);
+        self.table[idx].train(outcome);
+        self.history.push(outcome);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "gselect {}K entries, h={}",
+            self.table.len() / 1024,
+            self.history_bits
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_history_contexts() {
+        let mut p = Gselect::new(10, 4);
+        let pc = Pc::new(0x1000);
+        let mut correct = 0;
+        let total = 200;
+        for i in 0..total {
+            let outcome = Outcome::from(i % 2 == 0);
+            if p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        assert!(correct > total - 20, "got {correct}/{total}");
+    }
+
+    #[test]
+    fn all_history_index_allowed() {
+        // history_bits == index_bits: pure GAg.
+        let mut p = Gselect::new(8, 8);
+        p.update(Pc::new(0x40), Outcome::Taken);
+        let _ = p.predict(Pc::new(0x40));
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits cannot exceed")]
+    fn oversized_history_rejected() {
+        Gselect::new(8, 9);
+    }
+
+    #[test]
+    fn index_concatenation_layout() {
+        let mut p = Gselect::new(8, 2);
+        // Push history 0b11.
+        p.history.push(Outcome::Taken);
+        p.history.push(Outcome::Taken);
+        // addr bits = 6: pc bits 2..8.
+        let pc = Pc::new(0b101_0100); // bits 2..8 = 0b010101 wait: 0x54 >> 2 = 0b10101
+        let idx = p.index(pc);
+        assert_eq!(idx, (0b11 << 6) | 0b010101);
+    }
+
+    #[test]
+    fn name_and_storage() {
+        let p = Gselect::new(12, 6);
+        assert!(p.name().contains("gselect"));
+        assert_eq!(p.storage_bits(), 8 * 1024);
+    }
+}

@@ -1,0 +1,170 @@
+//! McFarling's gshare predictor.
+//!
+//! One of the Fig 5 competitors: the paper simulates a 1M-entry (2 Mbit)
+//! gshare whose best history length on the benchmark set was 20 (equal to
+//! `log2` of the table size).
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::counter::Counter2;
+use crate::history::GlobalHistory;
+use crate::predictor::BranchPredictor;
+use crate::skew::xor_fold;
+
+/// A gshare predictor: `2^index_bits` 2-bit counters indexed by
+/// `PC XOR global-history`.
+///
+/// History lengths beyond `index_bits` are supported by XOR-folding the
+/// history register into the index width (the paper's §5.3 "very long
+/// history" regime).
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::{gshare::Gshare, BranchPredictor};
+/// use ev8_trace::{Outcome, Pc};
+///
+/// let mut p = Gshare::new(14, 16);
+/// let pc = Pc::new(0x1000);
+/// p.update(pc, Outcome::Taken);
+/// assert_eq!(p.storage_bits(), (1 << 14) * 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: Vec<Counter2>,
+    index_bits: u32,
+    history: GlobalHistory,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^index_bits` counters and
+    /// `history_length` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 30, or
+    /// `history_length > 64`.
+    pub fn new(index_bits: u32, history_length: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+        Gshare {
+            table: vec![Counter2::default(); 1 << index_bits],
+            index_bits,
+            history: GlobalHistory::new(history_length),
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        let folded_history = xor_fold(self.history.bits() as u128, self.index_bits);
+        let pc_bits = pc.bits(2, self.index_bits);
+        (pc_bits ^ folded_history) as usize
+    }
+
+    /// The configured history length.
+    pub fn history_length(&self) -> u32 {
+        self.history.length()
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&self, pc: Pc) -> Outcome {
+        self.table[self.index(pc)].prediction()
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        let idx = self.index(pc);
+        self.table[idx].train(outcome);
+        self.history.push(outcome);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "gshare {}K entries, h={}",
+            self.table.len() / 1024,
+            self.history.length()
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_history_correlated_pattern() {
+        // Branch alternates T,NT,T,NT...: bimodal cannot learn this but
+        // gshare separates the two history contexts.
+        let mut p = Gshare::new(10, 8);
+        let pc = Pc::new(0x1000);
+        let mut correct = 0;
+        let total = 200;
+        for i in 0..total {
+            let outcome = Outcome::from(i % 2 == 0);
+            if p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        // After warmup the alternation is perfectly predictable.
+        assert!(correct > total - 20, "got {correct}/{total}");
+    }
+
+    #[test]
+    fn zero_history_behaves_like_bimodal() {
+        let mut p = Gshare::new(8, 0);
+        let pc = Pc::new(0x100);
+        p.update(pc, Outcome::Taken);
+        assert_eq!(p.predict(pc), Outcome::Taken);
+        assert_eq!(p.history_length(), 0);
+    }
+
+    #[test]
+    fn long_history_is_folded_not_truncated() {
+        // With history length 40 > index bits 10, bits beyond position 10
+        // must still change the index: train two long-history contexts that
+        // agree in their low 10 history bits and check they are separated.
+        let mut p = Gshare::new(10, 40);
+        let pc = Pc::new(0x1000);
+        // Context A: 20 taken then the branch is taken.
+        // Context B: 11 taken, 9 not-taken (same low bits after 11 more
+        // pushes? keep it simple: just check the index function directly).
+        let mut a = p.clone();
+        for _ in 0..30 {
+            a.history.push(Outcome::Taken);
+        }
+        let mut b = p.clone();
+        for _ in 0..19 {
+            b.history.push(Outcome::Taken);
+        }
+        b.history.push(Outcome::NotTaken); // bit 10 once more pushes happen
+        for _ in 0..10 {
+            b.history.push(Outcome::Taken);
+        }
+        // Low 10 history bits identical, bit 10 differs.
+        assert_eq!(a.history.low_bits(10), b.history.low_bits(10));
+        assert_ne!(a.index(pc), b.index(pc));
+        p.update(pc, Outcome::Taken); // keep p used
+    }
+
+    #[test]
+    fn history_shifts_on_update_only() {
+        let mut p = Gshare::new(8, 8);
+        let pc = Pc::new(0x200);
+        let before = p.history.bits();
+        let _ = p.predict(pc);
+        assert_eq!(p.history.bits(), before, "predict must not mutate");
+        p.update(pc, Outcome::Taken);
+        assert_eq!(p.history.bits(), (before << 1) | 1);
+    }
+
+    #[test]
+    fn storage_matches_paper_config() {
+        // The paper's 1M-entry gshare = 2 Mbit.
+        let p = Gshare::new(20, 20);
+        assert_eq!(p.storage_bits(), 2 * 1024 * 1024);
+        assert!(p.name().contains("1024K"));
+    }
+}

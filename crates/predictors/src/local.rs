@@ -1,0 +1,157 @@
+//! A two-level local (per-branch history) predictor.
+//!
+//! §3 of the paper explains why EV8 could *not* use local history: 16
+//! predictions per cycle would need a 16-ported second-level table, and
+//! speculative local history with >256 in-flight instructions is
+//! impractical. We implement the scheme anyway — it is the contrast class
+//! for the global-vs-local discussion and a component of the 21264-style
+//! tournament predictor ([`crate::tournament`]).
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::counter::SaturatingCounter;
+use crate::history::LocalHistoryTable;
+use crate::predictor::BranchPredictor;
+
+/// A two-level local predictor: a first-level table of per-PC history
+/// registers selects an entry in a second-level table of 3-bit counters
+/// (as in the Alpha 21264 local predictor).
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::{local::LocalPredictor, BranchPredictor};
+/// use ev8_trace::{Outcome, Pc};
+///
+/// let mut p = LocalPredictor::new(10, 10);
+/// p.update(Pc::new(0x1000), Outcome::Taken);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalPredictor {
+    histories: LocalHistoryTable,
+    pattern: Vec<SaturatingCounter<3>>,
+    pattern_bits: u32,
+}
+
+impl LocalPredictor {
+    /// Creates a local predictor with `2^l1_index_bits` history registers
+    /// of `pattern_bits` bits each, and a `2^pattern_bits`-entry
+    /// second-level counter table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_index_bits` or `pattern_bits` is 0 or greater than 20.
+    pub fn new(l1_index_bits: u32, pattern_bits: u32) -> Self {
+        assert!(
+            (1..=20).contains(&l1_index_bits),
+            "l1_index_bits must be 1..=20"
+        );
+        assert!(
+            (1..=20).contains(&pattern_bits),
+            "pattern_bits must be 1..=20"
+        );
+        LocalPredictor {
+            histories: LocalHistoryTable::new(l1_index_bits, pattern_bits),
+            pattern: vec![SaturatingCounter::<3>::default(); 1 << pattern_bits],
+            pattern_bits,
+        }
+    }
+
+    fn pattern_index(&self, pc: Pc) -> usize {
+        (self.histories.read(pc) & ((1u64 << self.pattern_bits) - 1)) as usize
+    }
+}
+
+impl BranchPredictor for LocalPredictor {
+    fn predict(&self, pc: Pc) -> Outcome {
+        self.pattern[self.pattern_index(pc)].prediction()
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        let idx = self.pattern_index(pc);
+        self.pattern[idx].train(outcome);
+        self.histories.update(pc, outcome);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "local {}x{}b + {} counters",
+            self.histories.len(),
+            self.histories.history_length(),
+            self.pattern.len()
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.histories.storage_bits() + self.pattern.len() as u64 * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_per_branch_period() {
+        // A loop branch taken 3 times then not taken once, repeating.
+        // Local history of >=4 bits captures the period exactly.
+        let mut p = LocalPredictor::new(8, 8);
+        let pc = Pc::new(0x1000);
+        let mut correct = 0;
+        let total = 400;
+        for i in 0..total {
+            let outcome = Outcome::from(i % 4 != 3);
+            if p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        assert!(correct > total - 40, "got {correct}/{total}");
+    }
+
+    #[test]
+    fn two_branches_different_periods_coexist() {
+        let mut p = LocalPredictor::new(8, 10);
+        let a = Pc::new(0x100);
+        let b = Pc::new(0x104);
+        let mut correct = 0;
+        let total = 600;
+        for i in 0..total / 2 {
+            let oa = Outcome::from(i % 2 == 0);
+            let ob = Outcome::from(i % 3 != 0);
+            if p.predict(a) == oa {
+                correct += 1;
+            }
+            p.update(a, oa);
+            if p.predict(b) == ob {
+                correct += 1;
+            }
+            p.update(b, ob);
+        }
+        assert!(correct > total - 80, "got {correct}/{total}");
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let p = LocalPredictor::new(4, 4);
+        let pc = Pc::new(0x40);
+        let first = p.predict(pc);
+        let second = p.predict(pc);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn storage_accounting_21264_class() {
+        // 1K x 10-bit histories + 1K 3-bit counters = 13 Kbit, close to the
+        // 21264 local predictor budget.
+        let p = LocalPredictor::new(10, 10);
+        assert_eq!(p.storage_bits(), 1024 * 10 + 1024 * 3);
+        assert!(!p.name().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern_bits must be 1..=20")]
+    fn zero_pattern_bits_rejected() {
+        LocalPredictor::new(8, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Split prediction/hysteresis counter tables (§4.3-4.4 of the paper).
+//!
+//! Under the partial update policy a correct prediction needs only a read
+//! of the *prediction* array and (at most) a write of the *hysteresis*
+//! array, so the EV8 implements each logical table of 2-bit counters as two
+//! physically distinct single-bit arrays. Chip layout allowed less area for
+//! hysteresis, so G0 and Meta use **half-size hysteresis tables**: two
+//! prediction entries share one hysteresis bit, "indexed using the same
+//! index function, except the most significant bit".
+
+use ev8_trace::Outcome;
+
+use crate::counter::Counter2;
+
+/// A table of 2-bit counters stored as separate prediction-bit and
+/// hysteresis-bit arrays, with an optionally smaller hysteresis array.
+///
+/// When the hysteresis array is smaller than the prediction array, several
+/// prediction entries alias onto one hysteresis bit — faithfully
+/// reproducing the §4.4 sharing scenario (entry B can be kept wrong by
+/// entry A continually resetting the shared hysteresis bit).
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::table::SplitCounterTable;
+/// use ev8_trace::Outcome;
+///
+/// // 64K prediction entries, 32K hysteresis entries (the EV8's G0/Meta).
+/// let mut t = SplitCounterTable::new(16, 15);
+/// t.train(0, Outcome::Taken);
+/// assert_eq!(t.read(0).prediction(), Outcome::Taken);
+/// assert_eq!(t.storage_bits(), (1 << 16) + (1 << 15));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitCounterTable {
+    prediction: Vec<u8>,
+    hysteresis: Vec<u8>,
+    hysteresis_mask: usize,
+    /// Writes to the prediction array (a prediction-bit flip is the
+    /// expensive operation: it is the fetch-critical array).
+    prediction_writes: u64,
+    /// Writes to the hysteresis array.
+    hysteresis_writes: u64,
+}
+
+impl SplitCounterTable {
+    /// Creates a table with `2^index_bits` prediction bits and
+    /// `2^hysteresis_index_bits` hysteresis bits, all counters initialized
+    /// weakly not taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is not in `1..=30` or
+    /// `hysteresis_index_bits > index_bits`.
+    pub fn new(index_bits: u32, hysteresis_index_bits: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+        assert!(
+            hysteresis_index_bits <= index_bits,
+            "hysteresis table cannot be larger than prediction table"
+        );
+        // Weakly not taken: prediction bit 0, hysteresis bit 1.
+        SplitCounterTable {
+            prediction: vec![0u8; 1 << index_bits],
+            hysteresis: vec![1u8; 1 << hysteresis_index_bits],
+            hysteresis_mask: (1 << hysteresis_index_bits) - 1,
+            prediction_writes: 0,
+            hysteresis_writes: 0,
+        }
+    }
+
+    /// Creates a table whose hysteresis array matches the prediction array
+    /// (no sharing).
+    pub fn full(index_bits: u32) -> Self {
+        Self::new(index_bits, index_bits)
+    }
+
+    /// Number of prediction entries.
+    pub fn entries(&self) -> usize {
+        self.prediction.len()
+    }
+
+    /// Number of hysteresis entries.
+    pub fn hysteresis_entries(&self) -> usize {
+        self.hysteresis.len()
+    }
+
+    /// Reads the logical 2-bit counter at `index`, reassembled from the
+    /// prediction bit and the (possibly shared) hysteresis bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn read(&self, index: usize) -> Counter2 {
+        Counter2::from_split(self.prediction[index], self.hysteresis[index & self.hysteresis_mask])
+    }
+
+    /// Reads only the prediction bit (the fetch-time read on EV8).
+    #[inline]
+    pub fn prediction_bit(&self, index: usize) -> u8 {
+        self.prediction[index]
+    }
+
+    /// Writes a logical counter value back through both arrays.
+    #[inline]
+    pub fn write(&mut self, index: usize, counter: Counter2) {
+        self.prediction[index] = counter.prediction_bit();
+        self.hysteresis[index & self.hysteresis_mask] = counter.hysteresis_bits();
+        self.prediction_writes += 1;
+        self.hysteresis_writes += 1;
+    }
+
+    /// Trains the counter at `index` toward `outcome` (read-modify-write
+    /// through the split arrays). Writes each array only when its bit
+    /// actually changes, as the hardware's write-enable logic would.
+    #[inline]
+    pub fn train(&mut self, index: usize, outcome: Outcome) {
+        let mut c = self.read(index);
+        let before = c;
+        c.train(outcome);
+        if c.prediction_bit() != before.prediction_bit() {
+            self.prediction[index] = c.prediction_bit();
+            self.prediction_writes += 1;
+        }
+        if c.hysteresis_bits() != before.hysteresis_bits() {
+            self.hysteresis[index & self.hysteresis_mask] = c.hysteresis_bits();
+            self.hysteresis_writes += 1;
+        }
+    }
+
+    /// Strengthens the counter at `index` in its current direction. Under
+    /// partial update this is the only write a correct prediction causes,
+    /// and it touches only the hysteresis array.
+    #[inline]
+    pub fn strengthen(&mut self, index: usize) {
+        let mut c = self.read(index);
+        let before = c.hysteresis_bits();
+        c.strengthen();
+        // The prediction bit cannot change when strengthening; write only
+        // hysteresis, as the EV8 hardware does.
+        if c.hysteresis_bits() != before {
+            self.hysteresis[index & self.hysteresis_mask] = c.hysteresis_bits();
+            self.hysteresis_writes += 1;
+        }
+    }
+
+    /// Writes to the prediction array so far.
+    pub fn prediction_writes(&self) -> u64 {
+        self.prediction_writes
+    }
+
+    /// Writes to the hysteresis array so far.
+    pub fn hysteresis_writes(&self) -> u64 {
+        self.hysteresis_writes
+    }
+
+    /// Storage cost in bits: one prediction bit per entry plus one
+    /// hysteresis bit per hysteresis entry.
+    pub fn storage_bits(&self) -> u64 {
+        (self.prediction.len() + self.hysteresis.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_weakly_not_taken() {
+        let t = SplitCounterTable::full(4);
+        for i in 0..16 {
+            assert_eq!(t.read(i).value(), 1);
+            assert_eq!(t.read(i).prediction(), Outcome::NotTaken);
+        }
+    }
+
+    #[test]
+    fn train_matches_plain_counter() {
+        let mut t = SplitCounterTable::full(4);
+        let mut c = Counter2::default();
+        let pattern = [true, true, false, true, false, false, false, true, true, true];
+        for &taken in &pattern {
+            let o = Outcome::from(taken);
+            t.train(3, o);
+            c.train(o);
+            assert_eq!(t.read(3).value(), c.value());
+        }
+    }
+
+    #[test]
+    fn half_size_hysteresis_aliases() {
+        let mut t = SplitCounterTable::new(4, 3);
+        assert_eq!(t.entries(), 16);
+        assert_eq!(t.hysteresis_entries(), 8);
+        // Entries 0 and 8 share hysteresis bit 0.
+        // Saturate entry 0 strongly taken.
+        for _ in 0..3 {
+            t.train(0, Outcome::Taken);
+        }
+        assert_eq!(t.read(0).value(), 3);
+        // Entry 8's prediction bit is independent...
+        assert_eq!(t.read(8).prediction(), Outcome::NotTaken);
+        // ...but it observes the shared hysteresis bit (set by entry 0).
+        assert_eq!(t.read(8).value(), 0b01);
+        // Driving entry 8 strongly not-taken clears the shared bit...
+        t.train(8, Outcome::NotTaken);
+        assert_eq!(t.read(8).value(), 0);
+        // ...which weakens entry 0 to "weakly taken" (prediction intact).
+        assert_eq!(t.read(0).value(), 2);
+        assert_eq!(t.read(0).prediction(), Outcome::Taken);
+    }
+
+    #[test]
+    fn shared_entry_recovers_with_two_consecutive_accesses() {
+        // The paper's §4.4 argument: two consecutive accesses to B without
+        // an intermediate access to A let B reach the correct state.
+        let mut t = SplitCounterTable::new(4, 3);
+        // A (entry 0) strongly taken; B (entry 8) wants not-taken.
+        for _ in 0..3 {
+            t.train(0, Outcome::Taken);
+        }
+        t.train(8, Outcome::NotTaken);
+        t.train(8, Outcome::NotTaken);
+        assert_eq!(t.read(8).prediction(), Outcome::NotTaken);
+        assert_eq!(t.read(8).value(), 0);
+    }
+
+    #[test]
+    fn strengthen_touches_only_hysteresis() {
+        let mut t = SplitCounterTable::full(4);
+        t.train(5, Outcome::Taken); // 1 -> 2 (weakly taken)
+        let pred_before = t.prediction_bit(5);
+        t.strengthen(5); // 2 -> 3
+        assert_eq!(t.prediction_bit(5), pred_before);
+        assert_eq!(t.read(5).value(), 3);
+        t.strengthen(5); // saturated
+        assert_eq!(t.read(5).value(), 3);
+    }
+
+    #[test]
+    fn storage_accounting_ev8_tables() {
+        // EV8 G1: 64K prediction + 64K hysteresis.
+        let g1 = SplitCounterTable::new(16, 16);
+        assert_eq!(g1.storage_bits(), 128 * 1024);
+        // EV8 G0: 64K prediction + 32K hysteresis.
+        let g0 = SplitCounterTable::new(16, 15);
+        assert_eq!(g0.storage_bits(), 96 * 1024);
+        // EV8 BIM: 16K prediction + 16K hysteresis.
+        let bim = SplitCounterTable::new(14, 14);
+        assert_eq!(bim.storage_bits(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis table cannot be larger")]
+    fn oversized_hysteresis_rejected() {
+        SplitCounterTable::new(4, 5);
+    }
+
+    #[test]
+    fn write_counters_track_actual_bit_changes() {
+        let mut t = SplitCounterTable::full(4);
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (0, 0));
+        // weakly-NT (01) -> weakly-T (10): both bits change.
+        t.train(2, Outcome::Taken);
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 1));
+        // weakly-T (10) -> strongly-T (11): only hysteresis changes.
+        t.train(2, Outcome::Taken);
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 2));
+        // Saturated: no bit changes, no writes.
+        t.train(2, Outcome::Taken);
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 2));
+        // Strengthen at saturation: no write either.
+        t.strengthen(2);
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 2));
+        // Weaken from strongly-T: hysteresis-only write.
+        t.train(2, Outcome::NotTaken);
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 3));
+    }
+
+    #[test]
+    fn strengthen_from_weak_writes_hysteresis_once() {
+        let mut t = SplitCounterTable::full(4);
+        t.strengthen(0); // weakly-NT -> strongly-NT
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (0, 1));
+        t.strengthen(0); // already saturated
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (0, 1));
+    }
+}

@@ -1,0 +1,216 @@
+//! A 21264-style tournament (hybrid local/global) predictor.
+//!
+//! "The previous generation Alpha microprocessor \[7\] incorporated a hybrid
+//! predictor using both global and local branch history information" (§3).
+//! This is that contrast point: a local two-level component, a global
+//! (GAg-style) component, and a global-history-indexed chooser.
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::counter::{Counter2, SaturatingCounter};
+use crate::history::{GlobalHistory, LocalHistoryTable};
+use crate::predictor::BranchPredictor;
+
+/// A tournament predictor after the Alpha 21264: local two-level + global
+/// two-level + chooser indexed by global history.
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::{tournament::Tournament, BranchPredictor};
+/// use ev8_trace::{Outcome, Pc};
+///
+/// let mut p = Tournament::alpha_21264();
+/// p.update(Pc::new(0x1000), Outcome::Taken);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tournament {
+    local_histories: LocalHistoryTable,
+    local_pattern: Vec<SaturatingCounter<3>>,
+    local_pattern_bits: u32,
+    global: Vec<Counter2>,
+    chooser: Vec<Counter2>,
+    global_bits: u32,
+    history: GlobalHistory,
+}
+
+impl Tournament {
+    /// Creates a tournament predictor.
+    ///
+    /// * `l1_bits` / `local_pattern_bits` — local component geometry,
+    /// * `global_bits` — `2^global_bits` entries for both the global
+    ///   prediction table and the chooser, indexed by global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size argument is 0 or greater than 20.
+    pub fn new(l1_bits: u32, local_pattern_bits: u32, global_bits: u32) -> Self {
+        assert!((1..=20).contains(&l1_bits));
+        assert!((1..=20).contains(&local_pattern_bits));
+        assert!((1..=20).contains(&global_bits));
+        Tournament {
+            local_histories: LocalHistoryTable::new(l1_bits, local_pattern_bits),
+            local_pattern: vec![SaturatingCounter::<3>::default(); 1 << local_pattern_bits],
+            local_pattern_bits,
+            global: vec![Counter2::default(); 1 << global_bits],
+            chooser: vec![Counter2::default(); 1 << global_bits],
+            global_bits,
+            history: GlobalHistory::new(global_bits),
+        }
+    }
+
+    /// The Alpha 21264 configuration: 1K×10b local histories, 1K 3-bit
+    /// local counters, 4K-entry global and chooser tables with 12 bits of
+    /// history.
+    pub fn alpha_21264() -> Self {
+        Tournament::new(10, 10, 12)
+    }
+
+    fn local_index(&self, pc: Pc) -> usize {
+        (self.local_histories.read(pc) & ((1u64 << self.local_pattern_bits) - 1)) as usize
+    }
+
+    fn global_index(&self) -> usize {
+        self.history.low_bits(self.global_bits) as usize
+    }
+
+    fn components(&self, pc: Pc) -> (Outcome, Outcome, Outcome) {
+        let local = self.local_pattern[self.local_index(pc)].prediction();
+        let global = self.global[self.global_index()].prediction();
+        // Chooser counter high => use global component.
+        let choice = self.chooser[self.global_index()].prediction();
+        let chosen = if choice.is_taken() { global } else { local };
+        (chosen, local, global)
+    }
+}
+
+impl BranchPredictor for Tournament {
+    fn predict(&self, pc: Pc) -> Outcome {
+        self.components(pc).0
+    }
+
+    fn update(&mut self, pc: Pc, outcome: Outcome) {
+        let (_, local, global) = self.components(pc);
+        let gidx = self.global_index();
+        let lidx = self.local_index(pc);
+
+        // Train the chooser only when the components disagree.
+        if local != global {
+            let global_was_right = global == outcome;
+            self.chooser[gidx].train(Outcome::from(global_was_right));
+        }
+        self.local_pattern[lidx].train(outcome);
+        self.global[gidx].train(outcome);
+        self.local_histories.update(pc, outcome);
+        self.history.push(outcome);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "tournament local({}x{}b) global(2^{})",
+            self.local_histories.len(),
+            self.local_histories.history_length(),
+            self.global_bits
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.local_histories.storage_bits()
+            + self.local_pattern.len() as u64 * 3
+            + self.global.len() as u64 * 2
+            + self.chooser.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_components_on_mixed_workload() {
+        // Branch A is local-periodic (period 5), branch B is
+        // global-correlated with A. The tournament should handle both.
+        let mut p = Tournament::alpha_21264();
+        let a = Pc::new(0x100);
+        let b = Pc::new(0x200);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..2000u64 {
+            let oa = Outcome::from(i % 5 != 4);
+            if i >= 500 {
+                if p.predict(a) == oa {
+                    correct += 1;
+                }
+                total += 1;
+            }
+            p.update(a, oa);
+            let ob = oa; // perfectly correlated with the previous branch
+            if i >= 500 {
+                if p.predict(b) == ob {
+                    correct += 1;
+                }
+                total += 1;
+            }
+            p.update(b, ob);
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.95, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn chooser_moves_toward_winning_component() {
+        let mut p = Tournament::new(4, 4, 4);
+        let pc = Pc::new(0x40);
+        // Hand-set a disagreement: local strongly taken, global strongly
+        // not-taken; outcome taken => the chooser must move toward local.
+        let lidx = p.local_index(pc);
+        let gidx = p.global_index();
+        p.local_pattern[lidx] = SaturatingCounter::<3>::new(7);
+        p.global[gidx] = Counter2::new(0);
+        let chooser_before = p.chooser[gidx].value();
+        p.update(pc, Outcome::Taken);
+        assert_eq!(
+            p.chooser[gidx].value(),
+            chooser_before - 1,
+            "chooser should move toward the local component"
+        );
+        // Symmetric case: global right, local wrong.
+        let mut p = Tournament::new(4, 4, 4);
+        let lidx = p.local_index(pc);
+        let gidx = p.global_index();
+        p.local_pattern[lidx] = SaturatingCounter::<3>::new(0);
+        p.global[gidx] = Counter2::new(3);
+        let chooser_before = p.chooser[gidx].value();
+        p.update(pc, Outcome::Taken);
+        assert_eq!(
+            p.chooser[gidx].value(),
+            chooser_before + 1,
+            "chooser should move toward the global component"
+        );
+    }
+
+    #[test]
+    fn chooser_untouched_when_components_agree() {
+        let mut p = Tournament::new(4, 4, 4);
+        let pc = Pc::new(0x40);
+        let snapshot: Vec<u8> = p.chooser.iter().map(|c| c.value()).collect();
+        // Fresh state: both components predict not-taken; feed not-taken.
+        p.update(pc, Outcome::NotTaken);
+        let after: Vec<u8> = p.chooser.iter().map(|c| c.value()).collect();
+        assert_eq!(snapshot, after);
+    }
+
+    #[test]
+    fn storage_matches_21264_budget() {
+        let p = Tournament::alpha_21264();
+        // 10Kb local hist + 3Kb local counters + 8Kb global + 8Kb chooser.
+        assert_eq!(p.storage_bits(), 1024 * 10 + 1024 * 3 + 4096 * 2 + 4096 * 2);
+        assert!(p.name().contains("tournament"));
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let p = Tournament::new(4, 4, 4);
+        assert_eq!(p.predict(Pc::new(0x10)), p.predict(Pc::new(0x10)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 10: the limits of global history — a brute-force 4×1M-entry
+//! (8 Mbit) 2Bc-gskew versus the EV8-class predictors.
+//!
+//! Expected shape (§9): "this brute force approach would have limited
+//! return except for applications with a very large number of branches" —
+//! the 4×1M predictor helps mostly on the large-footprint benchmarks
+//! (gcc, go, vortex analogues) and barely elsewhere.
+
+use ev8_core::{Ev8Config, Ev8Predictor};
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+
+use crate::experiments::{factory, mean_mispki, run_grid, suite_traces, Factory};
+use crate::report::{fmt_mispki, ExperimentReport, TextTable};
+
+/// The Fig 10 roster.
+pub fn configs() -> Vec<(String, Factory)> {
+    vec![
+        (
+            "EV8 (352Kb)".into(),
+            factory(|| Ev8Predictor::new(Ev8Config::ev8())),
+        ),
+        (
+            "2Bc-gskew 512Kb".into(),
+            factory(|| TwoBcGskew::new(TwoBcGskewConfig::size_512k())),
+        ),
+        (
+            "2Bc-gskew 4x1M (8Mb)".into(),
+            factory(|| TwoBcGskew::new(TwoBcGskewConfig::size_4x1m())),
+        ),
+    ]
+}
+
+/// Regenerates Figure 10.
+pub fn report(scale: f64, workers: usize) -> ExperimentReport {
+    let traces = suite_traces(scale);
+    let configs = configs();
+    let grid = run_grid(&traces, &configs, workers);
+
+    let mut headers = vec!["predictor".into()];
+    headers.extend(traces.iter().map(|t| t.name().to_owned()));
+    headers.push("mean".into());
+    let mut table = TextTable::new(headers);
+    for ((label, _), row) in configs.iter().zip(&grid) {
+        let mut cells = vec![label.clone()];
+        cells.extend(row.iter().map(|r| fmt_mispki(r.misp_per_ki())));
+        cells.push(fmt_mispki(mean_mispki(row)));
+        table.row(cells);
+    }
+    ExperimentReport {
+        title: "Figure 10: limits of global history (4x1M-entry 2Bc-gskew)".into(),
+        table,
+        notes: vec![
+            "expected: the 8Mb predictor helps mostly on large-footprint benchmarks (gcc/go/vortex)"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::default_workers;
+
+    #[test]
+    fn budgets_ascend() {
+        let c = configs();
+        let budgets: Vec<u64> = c.iter().map(|(_, f)| f().storage_bits()).collect();
+        assert_eq!(budgets, vec![352 * 1024, 512 * 1024, 8 * 1024 * 1024]);
+    }
+
+    #[test]
+    fn big_predictor_in_the_same_band() {
+        // Cold-start dominates short runs for 4M-entry tables (the paper
+        // runs 100M instructions); here we only assert the brute-force
+        // predictor stays in the same band — the "limited return" shape
+        // at full scale is recorded in EXPERIMENTS.md.
+        let r = report(0.01, default_workers());
+        let mean = |row: usize| -> f64 { r.table.cell(row, 9).parse().unwrap() };
+        assert!(
+            mean(2) <= mean(1) * 1.4 + 0.5,
+            "8Mb {} vs 512Kb {}",
+            mean(2),
+            mean(1)
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Each submodule regenerates one table or figure of §8 on the synthetic
+//! SPECINT95 suite (see `ev8-workloads` for the substitution rationale):
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — EV8 predictor configuration |
+//! | [`table2`] | Table 2 — benchmark characteristics |
+//! | [`table3`] | Table 3 — lghist/ghist compression ratio |
+//! | [`fig5`] | Fig 5 — accuracy of global-history schemes |
+//! | [`fig6`] | Fig 6 — penalty of `log2(size)` history lengths |
+//! | [`fig7`] | Fig 7 — information-vector quality |
+//! | [`fig8`] | Fig 8 — reducing table sizes |
+//! | [`fig9`] | Fig 9 — wordline/index-function constraints |
+//! | [`fig10`] | Fig 10 — limits of global history (4×1M predictor) |
+//! | [`delayed_update`] | §8.1.1 — immediate vs commit-time update |
+//!
+//! Extension studies beyond the paper's figures:
+//!
+//! | Module | Topic |
+//! |---|---|
+//! | [`frontend`] | §2 substrate — line predictor / RAS / fetch blocks |
+//! | [`history_sweep`] | §8.2 — history-length tuning methodology |
+//! | [`smt`] | §3 — SMT interference on shared tables |
+//! | [`backup`] | §9 — perceptron backup hierarchy |
+//! | [`update_traffic`] | §4.2 — partial-update accuracy and write traffic |
+//! | [`aliasing`] | §4 — interference vs static footprint |
+//! | [`scaling`] | calibration — misp/KI convergence with trace length |
+//!
+//! Every `report(scale, workers)` takes `scale` as a fraction of the
+//! paper's 100M-instruction traces (1.0 = full length) and a worker
+//! thread count for the parallel sweep.
+
+use std::sync::Arc;
+
+use ev8_predictors::BranchPredictor;
+use ev8_trace::Trace;
+use ev8_workloads::spec95;
+
+use crate::metrics::SimResult;
+use crate::simulator::simulate;
+use crate::sweep::run_parallel;
+
+pub mod aliasing;
+pub mod backup;
+pub mod delayed_update;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod frontend;
+pub mod history_sweep;
+pub mod scaling;
+pub mod smt;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod update_traffic;
+
+/// A thread-safe predictor factory: experiments describe each predictor
+/// configuration as a named constructor, instantiated fresh per
+/// (config, benchmark) job.
+pub type Factory = Arc<dyn Fn() -> Box<dyn BranchPredictor> + Send + Sync>;
+
+/// Builds a [`Factory`] from a constructor closure.
+pub fn factory<P, F>(f: F) -> Factory
+where
+    P: BranchPredictor + 'static,
+    F: Fn() -> P + Send + Sync + 'static,
+{
+    Arc::new(move || Box::new(f()))
+}
+
+/// Generates the eight SPECINT95-analogue traces at the given scale
+/// (fraction of 100M instructions).
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn suite_traces(scale: f64) -> Vec<Arc<Trace>> {
+    assert!(scale > 0.0, "scale must be positive");
+    let specs = spec95::suite();
+    let jobs: Vec<Box<dyn FnOnce() -> Arc<Trace> + Send>> = specs
+        .into_iter()
+        .map(|spec| {
+            Box::new(move || Arc::new(spec.generate_scaled(scale)))
+                as Box<dyn FnOnce() -> Arc<Trace> + Send>
+        })
+        .collect();
+    run_parallel(jobs, crate::sweep::default_workers())
+}
+
+/// Runs every (config, trace) pair in parallel; returns
+/// `results[config][trace]`.
+pub fn run_grid(
+    traces: &[Arc<Trace>],
+    configs: &[(String, Factory)],
+    workers: usize,
+) -> Vec<Vec<SimResult>> {
+    let mut jobs: Vec<Box<dyn FnOnce() -> SimResult + Send>> = Vec::new();
+    for (_, factory) in configs {
+        for trace in traces {
+            let factory = Arc::clone(factory);
+            let trace = Arc::clone(trace);
+            jobs.push(Box::new(move || simulate(factory(), &trace)));
+        }
+    }
+    let flat = run_parallel(jobs, workers);
+    flat.chunks(traces.len()).map(|c| c.to_vec()).collect()
+}
+
+/// Arithmetic mean of misp/KI over a row of results (the cross-benchmark
+/// average column the figures eyeball).
+pub fn mean_mispki(results: &[SimResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.misp_per_ki()).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev8_predictors::bimodal::Bimodal;
+
+    #[test]
+    fn suite_traces_generates_all_eight() {
+        let traces = suite_traces(0.0005);
+        assert_eq!(traces.len(), 8);
+        for (t, name) in traces.iter().zip(spec95::NAMES) {
+            assert_eq!(t.name(), name);
+            assert!(t.conditional_count() > 0);
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_ordering() {
+        let traces = suite_traces(0.0002);
+        let configs = vec![
+            ("bimodal-small".to_owned(), factory(|| Bimodal::new(8))),
+            ("bimodal-large".to_owned(), factory(|| Bimodal::new(14))),
+        ];
+        let grid = run_grid(&traces, &configs, 4);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].len(), 8);
+        for (row, _) in grid.iter().zip(&configs) {
+            for (r, t) in row.iter().zip(&traces) {
+                assert_eq!(r.trace, t.name());
+            }
+        }
+        let m = mean_mispki(&grid[0]);
+        assert!(m.is_finite() && m >= 0.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean_mispki(&[]), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Table 1: characteristics of the Alpha EV8 branch predictor.
+//!
+//! Not a simulation — the configuration constant itself, printed in the
+//! paper's layout and cross-checked against the 352 Kbit budget.
+
+use ev8_core::Ev8Config;
+
+use crate::report::{ExperimentReport, TextTable};
+
+/// Regenerates Table 1 from the implementation's configuration constants.
+pub fn report() -> ExperimentReport {
+    let c = Ev8Config::ev8();
+    let mut table = TextTable::new(vec![
+        "table".into(),
+        "prediction entries".into(),
+        "hysteresis entries".into(),
+        "history length".into(),
+    ]);
+    let fmt_k = |bits: u32| format!("{}K", (1u64 << bits) / 1024);
+    for (name, t) in [
+        ("BIM", &c.bim),
+        ("G0", &c.g0),
+        ("G1", &c.g1),
+        ("Meta", &c.meta),
+    ] {
+        table.row(vec![
+            name.into(),
+            fmt_k(t.index_bits),
+            fmt_k(t.hysteresis_index_bits),
+            t.history_length.to_string(),
+        ]);
+    }
+    ExperimentReport {
+        title: "Table 1: characteristics of the Alpha EV8 branch predictor".into(),
+        table,
+        notes: vec![
+            format!(
+                "total {} Kbits = {} Kbits prediction + {} Kbits hysteresis",
+                c.storage_bits() / 1024,
+                ((1u64 << c.bim.index_bits)
+                    + (1u64 << c.g0.index_bits)
+                    + (1u64 << c.g1.index_bits)
+                    + (1u64 << c.meta.index_bits))
+                    / 1024,
+                ((1u64 << c.bim.hysteresis_index_bits)
+                    + (1u64 << c.g0.hysteresis_index_bits)
+                    + (1u64 << c.g1.hysteresis_index_bits)
+                    + (1u64 << c.meta.hysteresis_index_bits))
+                    / 1024
+            ),
+            "paper: BIM 16K/16K h4, G0 64K/32K h13, G1 64K/64K h21, Meta 64K/32K h15".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        let r = report();
+        assert_eq!(r.table.len(), 4);
+        // BIM row.
+        assert_eq!(r.table.cell(0, 0), "BIM");
+        assert_eq!(r.table.cell(0, 1), "16K");
+        assert_eq!(r.table.cell(0, 2), "16K");
+        assert_eq!(r.table.cell(0, 3), "4");
+        // G0 row: half hysteresis.
+        assert_eq!(r.table.cell(1, 1), "64K");
+        assert_eq!(r.table.cell(1, 2), "32K");
+        assert_eq!(r.table.cell(1, 3), "13");
+        // G1 row: full hysteresis.
+        assert_eq!(r.table.cell(2, 2), "64K");
+        assert_eq!(r.table.cell(2, 3), "21");
+        // Meta row.
+        assert_eq!(r.table.cell(3, 2), "32K");
+        assert_eq!(r.table.cell(3, 3), "15");
+        assert!(r.notes[0].contains("352 Kbits"));
+        assert!(r.notes[0].contains("208 Kbits prediction"));
+        assert!(r.notes[0].contains("144 Kbits hysteresis"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 2: benchmark characteristics — dynamic conditional branches
+//! (×1000, normalized to 100M instructions) and static conditional
+//! branches, generated vs the paper's reference values.
+
+use ev8_trace::TraceStats;
+use ev8_workloads::spec95;
+
+use crate::experiments::suite_traces;
+use crate::report::{ExperimentReport, TextTable};
+
+/// Regenerates Table 2 at the given trace scale.
+pub fn report(scale: f64) -> ExperimentReport {
+    let traces = suite_traces(scale);
+    let mut table = TextTable::new(vec![
+        "benchmark".into(),
+        "dyn. cond. x1000 (per 100M)".into(),
+        "paper".into(),
+        "static cond.".into(),
+        "paper".into(),
+    ]);
+    for t in &traces {
+        let stats = TraceStats::from_trace(t);
+        let (paper_dyn, paper_static) =
+            spec95::table2_reference(t.name()).expect("suite names are known");
+        // Normalize the dynamic count to the paper's 100M-instruction
+        // baseline so scaled runs are comparable.
+        let dyn_per_100m_k =
+            stats.dynamic_conditional as f64 * (100_000_000.0 / stats.instructions as f64) / 1000.0;
+        table.row(vec![
+            t.name().to_owned(),
+            format!("{dyn_per_100m_k:.0}"),
+            paper_dyn.to_string(),
+            stats.static_conditional.to_string(),
+            paper_static.to_string(),
+        ]);
+    }
+    ExperimentReport {
+        title: "Table 2: benchmark characteristics (generated vs paper)".into(),
+        table,
+        notes: vec![
+            "dynamic counts are calibrated through the branch-density target".into(),
+            format!(
+                "static counts converge to the paper's values as scale -> 1.0 (run at {scale})"
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_tracking_paper() {
+        let r = report(0.002);
+        assert_eq!(r.table.len(), 8);
+        for row in 0..8 {
+            let gen_dyn: f64 = r.table.cell(row, 1).parse().unwrap();
+            let paper_dyn: f64 = r.table.cell(row, 2).parse().unwrap();
+            let rel = (gen_dyn - paper_dyn).abs() / paper_dyn;
+            assert!(
+                rel < 0.5,
+                "{}: generated {gen_dyn} too far from paper {paper_dyn}",
+                r.table.cell(row, 0)
+            );
+            let gen_static: u64 = r.table.cell(row, 3).parse().unwrap();
+            let paper_static: u64 = r.table.cell(row, 4).parse().unwrap();
+            assert!(gen_static <= paper_static);
+            assert!(gen_static > 0);
+        }
+    }
+}

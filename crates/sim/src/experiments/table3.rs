@@ -1,0 +1,77 @@
+//! Table 3: the lghist/ghist ratio — how many conditional branches one
+//! lghist bit represents on average (ghist inserts one bit per branch,
+//! lghist one bit per fetch block containing a conditional branch).
+
+use ev8_core::fetch::BlockStats;
+
+use crate::experiments::suite_traces;
+use crate::report::{ExperimentReport, TextTable};
+
+/// The paper's Table 3 reference values.
+pub fn paper_reference(name: &str) -> Option<f64> {
+    Some(match name {
+        "compress" => 1.24,
+        "gcc" => 1.57,
+        "go" => 1.12,
+        "ijpeg" => 1.20,
+        "li" => 1.55,
+        "m88ksim" => 1.53,
+        "perl" => 1.32,
+        "vortex" => 1.59,
+        _ => return None,
+    })
+}
+
+/// Regenerates Table 3 at the given trace scale.
+pub fn report(scale: f64) -> ExperimentReport {
+    let traces = suite_traces(scale);
+    let mut table = TextTable::new(vec![
+        "benchmark".into(),
+        "lghist/ghist".into(),
+        "paper".into(),
+    ]);
+    for t in &traces {
+        let stats = BlockStats::from_trace(t);
+        let paper = paper_reference(t.name()).expect("suite names known");
+        table.row(vec![
+            t.name().to_owned(),
+            format!("{:.2}", stats.lghist_compression_ratio()),
+            format!("{paper:.2}"),
+        ]);
+    }
+    ExperimentReport {
+        title: "Table 3: conditional branches represented per lghist bit".into(),
+        table,
+        notes: vec![
+            "ratio > 1 means fetch blocks often hold several conditional branches".into(),
+            "paper range: 1.12 (go) .. 1.59 (vortex)".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_in_a_plausible_band() {
+        let r = report(0.002);
+        assert_eq!(r.table.len(), 8);
+        for row in 0..8 {
+            let ratio: f64 = r.table.cell(row, 1).parse().unwrap();
+            assert!(
+                (1.0..3.0).contains(&ratio),
+                "{}: ratio {ratio} implausible",
+                r.table.cell(row, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_reference_complete() {
+        for n in ev8_workloads::spec95::NAMES {
+            assert!(paper_reference(n).is_some());
+        }
+        assert!(paper_reference("nope").is_none());
+    }
+}

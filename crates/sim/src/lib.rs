@@ -1,0 +1,47 @@
+//! Trace-driven simulation harness and the paper's experiments.
+//!
+//! The paper's methodology (§8.1.1): "Trace driven branch simulations with
+//! immediate update were used to explore the design space ... The metric
+//! used to report the results is mispredictions per 1000 instructions
+//! (misp/KI)."
+//!
+//! * [`simulator`] — [`simulate`] runs any
+//!   [`ev8_predictors::BranchPredictor`] over a trace with immediate
+//!   update; [`simulate_stale_update`]
+//!   models a predictor with *no speculative history update* (the
+//!   pathology the paper's reference \[8\] warns about), while the faithful
+//!   commit-time model lives in
+//!   `TwoBcGskewConfig::with_commit_window` (validated by
+//!   [`experiments::delayed_update`]).
+//! * [`metrics`] — [`SimResult`] with misp/KI,
+//!   accuracy and counts.
+//! * [`sweep`] — parallel execution of simulation jobs over worker
+//!   threads (crossbeam scoped threads).
+//! * [`report`] — aligned text tables for experiment output.
+//! * [`experiments`] — one module per table/figure of the paper's
+//!   evaluation (Tables 1-3, Figures 5-10), each regenerating the paper's
+//!   rows/series on the synthetic SPECINT95 suite.
+//!
+//! # Example
+//!
+//! ```
+//! use ev8_predictors::gshare::Gshare;
+//! use ev8_sim::simulator::simulate;
+//! use ev8_workloads::spec95;
+//!
+//! let trace = spec95::benchmark("compress").unwrap().generate_scaled(0.001);
+//! let result = simulate(Gshare::new(14, 14), &trace);
+//! assert!(result.misp_per_ki() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod simulator;
+pub mod sweep;
+
+pub use metrics::SimResult;
+pub use simulator::{simulate, simulate_stale_update};

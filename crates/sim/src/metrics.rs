@@ -1,0 +1,90 @@
+//! Simulation result metrics.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// The outcome of one predictor-over-trace simulation run.
+///
+/// The paper's headline metric is [`SimResult::misp_per_ki`]:
+/// mispredictions per 1000 instructions.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct SimResult {
+    /// Trace (benchmark) name.
+    pub trace: String,
+    /// Predictor name (including configuration).
+    pub predictor: String,
+    /// Total dynamic instructions in the run.
+    pub instructions: u64,
+    /// Dynamic conditional branches predicted.
+    pub conditional_branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredictions: u64,
+}
+
+impl SimResult {
+    /// Mispredictions per 1000 instructions — the paper's metric.
+    pub fn misp_per_ki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of conditional branches predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions as f64 / self.conditional_branches as f64
+        }
+    }
+
+    /// Misprediction rate over conditional branches.
+    pub fn misprediction_rate(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {}: {:.3} misp/KI ({:.2}% accuracy, {} mispredictions / {} branches)",
+            self.trace,
+            self.predictor,
+            self.misp_per_ki(),
+            self.accuracy() * 100.0,
+            self.mispredictions,
+            self.conditional_branches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_arithmetic() {
+        let r = SimResult {
+            trace: "t".into(),
+            predictor: "p".into(),
+            instructions: 100_000,
+            conditional_branches: 12_000,
+            mispredictions: 600,
+        };
+        assert!((r.misp_per_ki() - 6.0).abs() < 1e-12);
+        assert!((r.accuracy() - 0.95).abs() < 1e-12);
+        assert!((r.misprediction_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let r = SimResult::default();
+        assert_eq!(r.misp_per_ki(), 0.0);
+        assert_eq!(r.accuracy(), 1.0);
+        assert!(!r.to_string().is_empty());
+    }
+}

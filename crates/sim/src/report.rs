@@ -1,0 +1,281 @@
+//! Aligned text-table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned text table: a header row plus data rows.
+///
+/// # Example
+///
+/// ```
+/// use ev8_sim::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["bench".into(), "misp/KI".into()]);
+/// t.row(vec!["compress".into(), "4.32".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("compress"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The cell at `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// The headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders the table as RFC-4180-style CSV (fields quoted when they
+    /// contain commas, quotes or newlines) for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let row: Vec<String> = cells.iter().map(|c| field(c)).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers);
+        for r in &self.rows {
+            push_row(r);
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = c
+                    .chars()
+                    .all(|ch| ch.is_ascii_digit() || matches!(ch, '.' | '-' | '+' | '%' | 'x'));
+                if numeric && !c.is_empty() {
+                    write!(f, "{c:>width$}", width = widths[i])?;
+                } else {
+                    write!(f, "{c:<width$}", width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete experiment report: a title, the regenerated table, and
+/// free-form notes comparing against the paper.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// E.g. `"Figure 5: prediction accuracy of global history schemes"`.
+    pub title: String,
+    /// The regenerated rows/series.
+    pub table: TextTable,
+    /// Notes: expected shape from the paper, caveats.
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.title)?;
+        writeln!(f)?;
+        write!(f, "{}", self.table)?;
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for n in &self.notes {
+                writeln!(f, "note: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ExperimentReport {
+    /// The report's table as CSV (see [`TextTable::to_csv`]).
+    pub fn to_csv(&self) -> String {
+        self.table.to_csv()
+    }
+
+    /// Writes the CSV next to other experiment artifacts; the file name
+    /// is derived from the title (lowercased, non-alphanumerics folded to
+    /// `_`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let stem: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a misp/KI value for table cells.
+pub fn fmt_mispki(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["short".into(), "1.0".into()]);
+        t.row(vec!["a-much-longer-name".into(), "123.456".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        // All rows the same width (trailing alignment).
+        assert!(lines[2].starts_with("short"));
+        assert!(lines[3].starts_with("a-much-longer-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell(0, 1), "1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_rejected() {
+        TextTable::new(vec![]);
+    }
+
+    #[test]
+    fn report_displays_everything() {
+        let mut t = TextTable::new(vec!["bench".into(), "misp/KI".into()]);
+        t.row(vec!["go".into(), fmt_mispki(12.3456)]);
+        let r = ExperimentReport {
+            title: "Figure X".into(),
+            table: t,
+            notes: vec!["shape holds".into()],
+        };
+        let s = r.to_string();
+        assert!(s.contains("=== Figure X ==="));
+        assert!(s.contains("12.346"));
+        assert!(s.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn numeric_cells_right_aligned() {
+        let mut t = TextTable::new(vec!["col".into()]);
+        t.row(vec!["1.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn csv_escapes_and_rounds_trip_rows() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["plain".into(), "1.5".into()]);
+        t.row(vec!["with,comma".into(), "quote\"inside".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1.5");
+        assert_eq!(lines[2], "\"with,comma\",\"quote\"\"inside\"");
+    }
+
+    #[test]
+    fn report_csv_file_name_from_title() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        let r = ExperimentReport {
+            title: "Figure 5: misp/KI (best)".into(),
+            table: t,
+            notes: vec![],
+        };
+        let dir = std::env::temp_dir();
+        let path = r.write_csv(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("figure_5"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a\n"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Parallel execution of simulation jobs.
+//!
+//! Experiment figures run dozens of (predictor, benchmark) simulations;
+//! this module fans them out over worker threads with crossbeam's scoped
+//! threads (results come back in job order).
+
+use crossbeam::channel;
+use crossbeam::thread;
+
+/// Runs `jobs` on up to `workers` threads and returns the results in job
+/// order.
+///
+/// # Panics
+///
+/// Panics if a job panics or `workers == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ev8_sim::sweep::run_parallel;
+///
+/// let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> =
+///     (0..8u64).map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>).collect();
+/// let results = run_parallel(jobs, 4);
+/// assert_eq!(results[3], 9);
+/// ```
+pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, workers: usize) -> Vec<T> {
+    assert!(workers > 0, "need at least one worker");
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n);
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Box<dyn FnOnce() -> T + Send>)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
+    for j in jobs.into_iter().enumerate() {
+        job_tx.send(j).expect("queue open");
+    }
+    drop(job_tx);
+
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            s.spawn(move |_| {
+                while let Ok((i, job)) = job_rx.recv() {
+                    let out = job();
+                    if res_tx.send((i, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        while let Ok((i, v)) = res_rx.recv() {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job completed"))
+            .collect()
+    })
+    .expect("worker panicked")
+}
+
+/// A sensible default worker count: the number of available CPUs, at
+/// least 1, at most 8 (the experiments are memory-bandwidth heavy).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_job_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+            .map(|i| {
+                Box::new(move || {
+                    // Vary the work so completion order differs.
+                    let mut acc = 0usize;
+                    for k in 0..(32 - i) * 1000 {
+                        acc = acc.wrapping_add(k);
+                    }
+                    let _ = acc;
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = run_parallel(jobs, 4);
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_jobs_ok() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(run_parallel(jobs, 2).is_empty());
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> =
+            vec![Box::new(|| 7), Box::new(|| 9)];
+        assert_eq!(run_parallel(jobs, 1), vec![7, 9]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 1)];
+        assert_eq!(run_parallel(jobs, 16), vec![1]);
+    }
+
+    #[test]
+    fn default_workers_sane() {
+        let w = default_workers();
+        assert!((1..=8).contains(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_rejected() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 1)];
+        run_parallel(jobs, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Incremental trace construction.
+
+use crate::trace::Trace;
+use crate::types::BranchRecord;
+
+/// Incrementally builds a [`Trace`], tracking the instruction gap between
+/// branches so the total instruction count stays consistent.
+///
+/// Call [`TraceBuilder::run`] to account for straight-line (non-branch)
+/// instructions and [`TraceBuilder::branch`] for each control transfer;
+/// pending straight-line instructions are folded into the next branch's
+/// `gap` field.
+///
+/// # Example
+///
+/// ```
+/// use ev8_trace::{BranchRecord, Pc, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("loop");
+/// for i in 0..10 {
+///     b.run(4); // loop body
+///     b.branch(BranchRecord::conditional(
+///         Pc::new(0x1010),
+///         Pc::new(0x1000),
+///         i != 9, // taken 9 times, falls out on the 10th
+///     ));
+/// }
+/// let t = b.finish();
+/// assert_eq!(t.instruction_count(), 50);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    name: String,
+    records: Vec<BranchRecord>,
+    pending_gap: u64,
+    instruction_count: u64,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder for a trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            records: Vec::new(),
+            pending_gap: 0,
+            instruction_count: 0,
+        }
+    }
+
+    /// Creates a builder with capacity pre-reserved for `n` branch records.
+    pub fn with_capacity(name: impl Into<String>, n: usize) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            records: Vec::with_capacity(n),
+            pending_gap: 0,
+            instruction_count: 0,
+        }
+    }
+
+    /// Accounts for `n` straight-line (non-branch) instructions executed
+    /// before the next branch.
+    pub fn run(&mut self, n: u64) {
+        self.pending_gap += n;
+    }
+
+    /// Appends a branch record. Any pending straight-line instructions are
+    /// folded into the record's `gap` (added to whatever gap it already
+    /// carries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulated gap exceeds `u32::MAX` (a single basic
+    /// block of four billion instructions indicates a generator bug).
+    pub fn branch(&mut self, record: BranchRecord) {
+        let gap = self
+            .pending_gap
+            .checked_add(record.gap as u64)
+            .expect("gap overflow");
+        let gap = u32::try_from(gap).expect("gap exceeds u32::MAX");
+        self.pending_gap = 0;
+        self.instruction_count += gap as u64 + 1;
+        self.records.push(record.with_gap(gap));
+    }
+
+    /// Number of branch records appended so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no branch has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Instructions accounted for so far (committed branches and their gaps;
+    /// excludes any still-pending straight-line run).
+    pub fn instruction_count(&self) -> u64 {
+        self.instruction_count
+    }
+
+    /// Finishes the trace. A still-pending straight-line run with no
+    /// following branch is dropped (it cannot influence prediction).
+    pub fn finish(self) -> Trace {
+        Trace::from_parts(self.name, self.records, self.instruction_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Pc;
+
+    #[test]
+    fn gaps_fold_into_next_branch() {
+        let mut b = TraceBuilder::new("t");
+        b.run(5);
+        b.run(2);
+        b.branch(BranchRecord::conditional(Pc::new(0x100), Pc::new(0x80), true));
+        let t = b.finish();
+        assert_eq!(t.records()[0].gap, 7);
+        assert_eq!(t.instruction_count(), 8);
+    }
+
+    #[test]
+    fn preexisting_gap_is_preserved() {
+        let mut b = TraceBuilder::new("t");
+        b.run(3);
+        b.branch(BranchRecord::conditional(Pc::new(0x100), Pc::new(0x80), true).with_gap(2));
+        let t = b.finish();
+        assert_eq!(t.records()[0].gap, 5);
+    }
+
+    #[test]
+    fn trailing_run_is_dropped() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(BranchRecord::conditional(Pc::new(0x100), Pc::new(0x80), false));
+        b.run(100);
+        let t = b.finish();
+        assert_eq!(t.instruction_count(), 1);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut b = TraceBuilder::with_capacity("t", 4);
+        assert!(b.is_empty());
+        b.branch(BranchRecord::conditional(Pc::new(0), Pc::new(8), true));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert_eq!(b.instruction_count(), 1);
+    }
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let mut b = TraceBuilder::new("t");
+        let mut expected = Vec::new();
+        for i in 0..20u64 {
+            b.run(i % 4);
+            let rec = BranchRecord::conditional(Pc::new(0x1000 + 8 * i), Pc::new(0x1000), i % 2 == 0);
+            b.branch(rec);
+            expected.push(rec.with_gap((i % 4) as u32));
+        }
+        let t = b.finish();
+        assert_eq!(t.records(), expected.as_slice());
+    }
+}

@@ -1,0 +1,366 @@
+//! Compact binary on-disk trace format.
+//!
+//! Traces of 100M-instruction-class workloads hold millions of branch
+//! records, so the format is delta- and varint-encoded:
+//!
+//! ```text
+//! header:  magic "EV8T" | version u16 LE | name len varint | name bytes
+//!          | record count varint | instruction count varint
+//! record:  tag byte | pc delta (zigzag varint, from previous record's
+//!          next-pc) | target delta (zigzag varint, from this pc) | gap varint
+//! tag:     bits 0..3 = branch kind, bit 3 = taken
+//! ```
+//!
+//! The functions are generic over [`std::io::Read`] / [`std::io::Write`];
+//! a `&mut` reference can be passed wherever a reader or writer is expected.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), ev8_trace::TraceError> {
+//! use ev8_trace::{codec, BranchRecord, Pc, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("roundtrip");
+//! b.run(2);
+//! b.branch(BranchRecord::conditional(Pc::new(0x100), Pc::new(0x80), true));
+//! let t = b.finish();
+//!
+//! let mut buf = Vec::new();
+//! codec::write_trace(&mut buf, &t)?;
+//! let back = codec::read_trace(&mut buf.as_slice())?;
+//! assert_eq!(back, t);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::TraceError;
+use crate::trace::Trace;
+use crate::types::{BranchKind, BranchRecord, Outcome, Pc};
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: [u8; 4] = *b"EV8T";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const KIND_MASK: u8 = 0b0111;
+const TAKEN_BIT: u8 = 0b1000;
+
+fn kind_to_tag(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::IndirectJump => 4,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<BranchKind> {
+    Some(match tag {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::IndirectJump,
+        _ => return None,
+    })
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+            return Err(TraceError::Corrupt {
+                what: "varint overflow",
+                offset: None,
+            });
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the underlying writer fails.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+    let mut buf = BytesMut::with_capacity(64 + trace.len() * 6);
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    let name = trace.name().as_bytes();
+    put_varint(&mut buf, name.len() as u64);
+    buf.put_slice(name);
+    put_varint(&mut buf, trace.len() as u64);
+    put_varint(&mut buf, trace.instruction_count());
+
+    let mut prev_next = Pc::default();
+    for rec in trace.iter() {
+        let mut tag = kind_to_tag(rec.kind);
+        if rec.is_taken() {
+            tag |= TAKEN_BIT;
+        }
+        buf.put_u8(tag);
+        let pc_delta = rec.pc.as_u64() as i64 - prev_next.as_u64() as i64;
+        put_varint(&mut buf, zigzag_encode(pc_delta));
+        let tgt_delta = rec.target.as_u64() as i64 - rec.pc.as_u64() as i64;
+        put_varint(&mut buf, zigzag_encode(tgt_delta));
+        put_varint(&mut buf, rec.gap as u64);
+        prev_next = rec.next_pc();
+
+        // Flush periodically to bound memory for very large traces.
+        if buf.len() >= 1 << 20 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a complete trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`],
+/// [`TraceError::Corrupt`] or [`TraceError::UnexpectedEof`] on malformed
+/// input, and [`TraceError::Io`] on reader failure.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic { found: magic });
+    }
+    let mut ver = [0u8; 2];
+    r.read_exact(&mut ver)?;
+    let version = (&ver[..]).get_u16_le();
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion { found: version });
+    }
+    let name_len = read_varint(&mut r)? as usize;
+    if name_len > 1 << 16 {
+        return Err(TraceError::Corrupt {
+            what: "unreasonable name length",
+            offset: None,
+        });
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Corrupt {
+        what: "trace name is not utf-8",
+        offset: None,
+    })?;
+    let count = read_varint(&mut r)? as usize;
+    let instruction_count = read_varint(&mut r)?;
+
+    let mut records = Vec::with_capacity(count.min(1 << 24));
+    let mut prev_next = Pc::default();
+    for _ in 0..count {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let tag = tag[0];
+        let kind = kind_from_tag(tag & KIND_MASK).ok_or(TraceError::Corrupt {
+            what: "unknown branch kind tag",
+            offset: None,
+        })?;
+        let taken = tag & TAKEN_BIT != 0;
+        if kind.is_always_taken() && !taken {
+            return Err(TraceError::Corrupt {
+                what: "non-conditional branch marked not-taken",
+                offset: None,
+            });
+        }
+        let pc_delta = zigzag_decode(read_varint(&mut r)?);
+        let pc = Pc::new((prev_next.as_u64() as i64 + pc_delta) as u64);
+        let tgt_delta = zigzag_decode(read_varint(&mut r)?);
+        let target = Pc::new((pc.as_u64() as i64 + tgt_delta) as u64);
+        let gap = read_varint(&mut r)?;
+        let gap = u32::try_from(gap).map_err(|_| TraceError::Corrupt {
+            what: "gap exceeds u32",
+            offset: None,
+        })?;
+        let rec = BranchRecord {
+            pc,
+            target,
+            kind,
+            outcome: Outcome::from(taken),
+            gap,
+        };
+        prev_next = rec.next_pc();
+        records.push(rec);
+    }
+
+    let expected = records.len() as u64 + records.iter().map(|r| r.gap as u64).sum::<u64>();
+    if expected != instruction_count {
+        return Err(TraceError::Corrupt {
+            what: "instruction count mismatch",
+            offset: None,
+        });
+    }
+    Ok(Trace::from_parts(name, records, instruction_count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("codec-sample");
+        let mut pc = Pc::new(0x1_0000);
+        for i in 0..500u64 {
+            b.run(i % 7);
+            let kind = match i % 11 {
+                0 => BranchKind::Call,
+                1 => BranchKind::Return,
+                2 => BranchKind::Unconditional,
+                3 => BranchKind::IndirectJump,
+                _ => BranchKind::Conditional,
+            };
+            let target = Pc::new(pc.as_u64().wrapping_add((i * 36) % 4096 + 4));
+            let rec = if kind.is_conditional() {
+                BranchRecord::conditional(pc, target, i % 3 != 0)
+            } else {
+                BranchRecord::always_taken(pc, target, kind)
+            };
+            pc = rec.next_pc().advance(i % 5);
+            b.branch(rec);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_empty_trace() {
+        let t = Trace::default();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf[4] = 0xff;
+        buf[5] = 0xff;
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::UnsupportedVersion { found: 0xffff })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert!(matches!(
+            read_trace(&mut [][..].as_ref()),
+            Err(TraceError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789, -987654321] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let got = read_varint(&mut buf.as_ref()).unwrap();
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // Eleven continuation bytes encode more than 64 bits.
+        let bytes = [0xffu8; 11];
+        assert!(matches!(
+            read_varint(&mut bytes.as_slice()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Sequential branches with small deltas should cost only a few
+        // bytes per record.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert!(
+            buf.len() < t.len() * 8 + 64,
+            "expected compact encoding, got {} bytes for {} records",
+            buf.len(),
+            t.len()
+        );
+    }
+}

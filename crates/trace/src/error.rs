@@ -1,0 +1,115 @@
+//! Error type for trace I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error produced while reading or writing a binary trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the trace-format magic bytes.
+    BadMagic {
+        /// The bytes that were found instead.
+        found: [u8; 4],
+    },
+    /// The format version is not supported by this build.
+    UnsupportedVersion {
+        /// The version number found in the header.
+        found: u16,
+    },
+    /// A record field held an invalid encoding (for example an unknown
+    /// branch-kind tag).
+    Corrupt {
+        /// Description of what was malformed.
+        what: &'static str,
+        /// Byte offset at which the problem was detected, if known.
+        offset: Option<u64>,
+    },
+    /// The stream ended in the middle of a record or header.
+    UnexpectedEof,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "not a trace file (magic {found:02x?})")
+            }
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            TraceError::Corrupt { what, offset } => match offset {
+                Some(o) => write!(f, "corrupt trace ({what} at byte {o})"),
+                None => write!(f, "corrupt trace ({what})"),
+            },
+            TraceError::UnexpectedEof => f.write_str("unexpected end of trace stream"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::UnexpectedEof
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<TraceError> = vec![
+            TraceError::Io(io::Error::other("boom")),
+            TraceError::BadMagic { found: *b"nope" },
+            TraceError::UnsupportedVersion { found: 9 },
+            TraceError::Corrupt {
+                what: "bad kind tag",
+                offset: Some(12),
+            },
+            TraceError::Corrupt {
+                what: "bad kind tag",
+                offset: None,
+            },
+            TraceError::UnexpectedEof,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn eof_io_error_maps_to_unexpected_eof() {
+        let e = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(TraceError::from(e), TraceError::UnexpectedEof));
+    }
+
+    #[test]
+    fn source_is_preserved_for_io() {
+        let e = TraceError::Io(io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(TraceError::UnexpectedEof.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

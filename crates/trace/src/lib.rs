@@ -1,0 +1,49 @@
+//! Branch trace representation and I/O for the Alpha EV8 branch predictor
+//! reproduction.
+//!
+//! The paper ("Design Tradeoffs for the Alpha EV8 Conditional Branch
+//! Predictor", ISCA 2002) evaluates predictors with *trace-driven simulation
+//! with immediate update* over SPECINT95 traces. This crate provides the
+//! trace substrate:
+//!
+//! * [`Pc`], [`BranchKind`], [`Outcome`] and [`BranchRecord`] — the
+//!   vocabulary types describing one dynamic branch.
+//! * [`Trace`] — an in-memory dynamic branch stream together with the total
+//!   instruction count (needed for the paper's misp/KI metric).
+//! * [`codec`] — a compact binary on-disk trace format (whole-trace
+//!   read/write).
+//! * [`stream`] — incremental [`stream::TraceReader`] /
+//!   [`stream::TraceWriter`] over the same format, for traces too large
+//!   to materialize.
+//! * [`stats`] — trace statistics (static/dynamic branch counts, bias
+//!   profiles) used to regenerate Table 2 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use ev8_trace::{BranchKind, BranchRecord, Pc, Trace, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("tiny");
+//! b.run(3); // three non-branch instructions
+//! b.branch(BranchRecord::conditional(Pc::new(0x1000), Pc::new(0x2000), true));
+//! let trace: Trace = b.finish();
+//! assert_eq!(trace.len(), 1);
+//! assert_eq!(trace.instruction_count(), 4); // 3 + the branch itself
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod codec;
+mod error;
+pub mod stats;
+pub mod stream;
+mod trace;
+mod types;
+
+pub use builder::TraceBuilder;
+pub use error::TraceError;
+pub use stats::TraceStats;
+pub use trace::{Iter, Trace};
+pub use types::{BranchKind, BranchRecord, Outcome, Pc};

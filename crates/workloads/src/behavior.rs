@@ -1,0 +1,324 @@
+//! Branch behaviour archetypes.
+//!
+//! Every static conditional branch in a synthetic program is assigned one
+//! archetype. The archetypes span the behaviour axes that differentiate
+//! the predictors in the paper's evaluation:
+//!
+//! * [`Behavior::Biased`] — mostly one direction; what the BIM component
+//!   and the agree predictor exploit.
+//! * [`Behavior::Loop`] — taken `n-1` of `n` times; local history captures
+//!   the period, global history captures it only if it fits the register.
+//! * [`Behavior::LocalPattern`] — a fixed repeating pattern, the classic
+//!   two-level-local showcase.
+//! * [`Behavior::GlobalCorrelated`] — outcome is a boolean function of
+//!   recent *global* outcomes; the reason global-history predictors win.
+//! * [`Behavior::Random`] — inherently unpredictable (data-dependent), the
+//!   "hard branches" the paper's conclusion worries about.
+
+use rand::Rng;
+
+/// The behaviour archetype of one static conditional branch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Behavior {
+    /// Taken with the given probability, independently each execution.
+    Biased {
+        /// Probability of taken in `[0, 1]`.
+        taken_probability: f64,
+    },
+    /// A loop back-edge: taken `trip_count - 1` consecutive times, then
+    /// not taken once.
+    Loop {
+        /// Loop trip count (≥ 1).
+        trip_count: u32,
+    },
+    /// A fixed repeating taken/not-taken pattern.
+    LocalPattern {
+        /// The pattern, iterated cyclically (must be non-empty).
+        pattern: Vec<bool>,
+    },
+    /// The outcome equals the XOR of selected recent global outcomes,
+    /// flipped with probability `noise`.
+    GlobalCorrelated {
+        /// Offsets (in branches) into the recent global outcome history;
+        /// offset 0 is the most recent conditional branch.
+        offsets: Vec<u8>,
+        /// Probability of flipping the correlated outcome.
+        noise: f64,
+    },
+    /// The outcome equals the XOR of selected recent *path* bits (one bit
+    /// per control-flow region entered), flipped with probability
+    /// `noise`. Models the common real-program case where a branch
+    /// depends on *how control arrived* rather than on specific prior
+    /// outcomes — the correlation class that block-compressed history
+    /// (lghist) captures especially compactly (§5.1 of the paper).
+    PathCorrelated {
+        /// Offsets into the recent path-bit history; offset 0 is the most
+        /// recently entered region.
+        offsets: Vec<u8>,
+        /// Probability of flipping the correlated outcome.
+        noise: f64,
+    },
+    /// A fair (or slightly biased) coin — models data-dependent branches.
+    Random,
+}
+
+/// Per-branch dynamic state for an archetype (loop counters, pattern
+/// positions).
+#[derive(Clone, Debug, Default)]
+pub struct BehaviorState {
+    position: u32,
+}
+
+impl Behavior {
+    /// Computes the next outcome for a branch with this archetype.
+    ///
+    /// * `state` — the branch's private state (loop position etc.),
+    /// * `global_history` — recent global conditional outcomes, bit 0 most
+    ///   recent,
+    /// * `path_history` — recent path bits (one per entered control-flow
+    ///   region), bit 0 most recent,
+    /// * `rng` — randomness source (deterministic per-program seed).
+    pub fn next_outcome<R: Rng + ?Sized>(
+        &self,
+        state: &mut BehaviorState,
+        global_history: u64,
+        path_history: u64,
+        rng: &mut R,
+    ) -> bool {
+        match self {
+            Behavior::Biased { taken_probability } => rng.gen_bool(*taken_probability),
+            Behavior::Loop { trip_count } => {
+                let taken = state.position + 1 < *trip_count;
+                state.position = if taken { state.position + 1 } else { 0 };
+                taken
+            }
+            Behavior::LocalPattern { pattern } => {
+                let taken = pattern[state.position as usize % pattern.len()];
+                state.position = state.position.wrapping_add(1);
+                taken
+            }
+            Behavior::GlobalCorrelated { offsets, noise } => {
+                let mut v = 0u64;
+                for &off in offsets {
+                    v ^= (global_history >> off) & 1;
+                }
+                let mut taken = v == 1;
+                if *noise > 0.0 && rng.gen_bool(*noise) {
+                    taken = !taken;
+                }
+                taken
+            }
+            Behavior::PathCorrelated { offsets, noise } => {
+                let mut v = 0u64;
+                for &off in offsets {
+                    v ^= (path_history >> off) & 1;
+                }
+                let mut taken = v == 1;
+                if *noise > 0.0 && rng.gen_bool(*noise) {
+                    taken = !taken;
+                }
+                taken
+            }
+            Behavior::Random => rng.gen_bool(0.5),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Behavior::Biased { .. } => "biased",
+            Behavior::Loop { .. } => "loop",
+            Behavior::LocalPattern { .. } => "pattern",
+            Behavior::GlobalCorrelated { .. } => "correlated",
+            Behavior::PathCorrelated { .. } => "path-correlated",
+            Behavior::Random => "random",
+        }
+    }
+
+    /// Validates the archetype parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Behavior::Biased { taken_probability } => {
+                if !(0.0..=1.0).contains(taken_probability) {
+                    return Err(format!("taken_probability {taken_probability} not in [0,1]"));
+                }
+            }
+            Behavior::Loop { trip_count } => {
+                if *trip_count == 0 {
+                    return Err("loop trip_count must be >= 1".to_owned());
+                }
+            }
+            Behavior::LocalPattern { pattern } => {
+                if pattern.is_empty() {
+                    return Err("local pattern must be non-empty".to_owned());
+                }
+            }
+            Behavior::GlobalCorrelated { offsets, noise }
+            | Behavior::PathCorrelated { offsets, noise } => {
+                if offsets.is_empty() {
+                    return Err("correlation offsets must be non-empty".to_owned());
+                }
+                if offsets.iter().any(|&o| o >= 64) {
+                    return Err("correlation offsets must be < 64".to_owned());
+                }
+                if !(0.0..=1.0).contains(noise) {
+                    return Err(format!("noise {noise} not in [0,1]"));
+                }
+            }
+            Behavior::Random => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn biased_respects_probability() {
+        let b = Behavior::Biased {
+            taken_probability: 0.9,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let taken = (0..5000)
+            .filter(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .count();
+        let rate = taken as f64 / 5000.0;
+        assert!((rate - 0.9).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn loop_period_is_exact() {
+        let b = Behavior::Loop { trip_count: 4 };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..12).map(|_| b.next_outcome(&mut st, 0, 0, &mut r)).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn trip_count_one_never_taken() {
+        let b = Behavior::Loop { trip_count: 1 };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        assert!((0..5).all(|_| !b.next_outcome(&mut st, 0, 0, &mut r)));
+    }
+
+    #[test]
+    fn local_pattern_repeats() {
+        let b = Behavior::LocalPattern {
+            pattern: vec![true, false, false],
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..6).map(|_| b.next_outcome(&mut st, 0, 0, &mut r)).collect();
+        assert_eq!(outcomes, vec![true, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn global_correlated_follows_history() {
+        let b = Behavior::GlobalCorrelated {
+            offsets: vec![0, 2],
+            noise: 0.0,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        // history bits: b0=1, b2=0 -> XOR = 1 -> taken.
+        assert!(b.next_outcome(&mut st, 0b001, 0, &mut r));
+        // b0=1, b2=1 -> 0 -> not taken.
+        assert!(!b.next_outcome(&mut st, 0b101, 0, &mut r));
+    }
+
+    #[test]
+    fn global_correlated_noise_flips_sometimes() {
+        let b = Behavior::GlobalCorrelated {
+            offsets: vec![0],
+            noise: 0.25,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let flips = (0..4000)
+            .filter(|_| !b.next_outcome(&mut st, 0b1, 0, &mut r)) // expected taken
+            .count();
+        let rate = flips as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "flip rate {rate}");
+    }
+
+    #[test]
+    fn path_correlated_follows_path_register() {
+        let b = Behavior::PathCorrelated {
+            offsets: vec![1],
+            noise: 0.0,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        // Path bit 1 set -> taken; outcome history must be ignored.
+        assert!(b.next_outcome(&mut st, 0, 0b10, &mut r));
+        assert!(!b.next_outcome(&mut st, u64::MAX, 0b00, &mut r));
+    }
+
+    #[test]
+    fn random_is_roughly_fair() {
+        let b = Behavior::Random;
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let taken = (0..5000)
+            .filter(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .count();
+        let rate = taken as f64 / 5000.0;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(Behavior::Biased { taken_probability: 1.5 }.validate().is_err());
+        assert!(Behavior::Loop { trip_count: 0 }.validate().is_err());
+        assert!(Behavior::LocalPattern { pattern: vec![] }.validate().is_err());
+        assert!(Behavior::GlobalCorrelated { offsets: vec![], noise: 0.0 }
+            .validate()
+            .is_err());
+        assert!(Behavior::GlobalCorrelated { offsets: vec![64], noise: 0.0 }
+            .validate()
+            .is_err());
+        assert!(Behavior::GlobalCorrelated { offsets: vec![3], noise: 2.0 }
+            .validate()
+            .is_err());
+        assert!(Behavior::PathCorrelated { offsets: vec![], noise: 0.0 }
+            .validate()
+            .is_err());
+        assert!(Behavior::PathCorrelated { offsets: vec![2], noise: 0.01 }
+            .validate()
+            .is_ok());
+        assert!(Behavior::Random.validate().is_ok());
+        assert!(Behavior::Loop { trip_count: 8 }.validate().is_ok());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Behavior::Biased { taken_probability: 0.5 }.label(),
+            Behavior::Loop { trip_count: 2 }.label(),
+            Behavior::LocalPattern { pattern: vec![true] }.label(),
+            Behavior::GlobalCorrelated { offsets: vec![0], noise: 0.0 }.label(),
+            Behavior::PathCorrelated { offsets: vec![0], noise: 0.0 }.label(),
+            Behavior::Random.label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

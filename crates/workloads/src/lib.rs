@@ -1,0 +1,46 @@
+//! Synthetic branch workload generation for the Alpha EV8 reproduction.
+//!
+//! The paper evaluates on Atom-collected SPECINT95 traces (100M
+//! instructions per benchmark, Table 2). Those traces are unobtainable;
+//! this crate builds the closest synthetic equivalent:
+//!
+//! * [`behavior`] — per-branch behaviour archetypes (biased, loop,
+//!   local-pattern, globally correlated, random) that span the axes branch
+//!   predictors are sensitive to.
+//! * [`zipf`] — a Zipf-like hotness distribution so a few static branches
+//!   dominate the dynamic stream, as in real programs.
+//! * [`program`] — [`ProgramSpec`] /
+//!   `generate`: composes archetypes into a static
+//!   branch population with realistic PC layout, call/return structure and
+//!   a seeded, reproducible dynamic walk.
+//! * [`spec95`] — one calibrated spec per SPECINT95 benchmark of Table 2
+//!   (compress, gcc, go, ijpeg, li, m88ksim, perl, vortex), reproducing
+//!   each benchmark's static footprint, branch density and predictability
+//!   class.
+//!
+//! What the substitution preserves (and what it does not): the experiments
+//! in the paper measure *relative* predictor quality driven by aliasing
+//! pressure (static footprint), history correlation depth, and bias skew.
+//! The generators expose exactly those axes, so predictor *orderings* and
+//! *trends* are reproducible; absolute misp/KI values are not expected to
+//! match the original traces.
+//!
+//! # Example
+//!
+//! ```
+//! use ev8_workloads::spec95;
+//!
+//! // A 1-million-instruction version of the `compress` analogue.
+//! let trace = spec95::benchmark("compress").unwrap().generate_scaled(0.01);
+//! assert!(trace.conditional_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod program;
+pub mod spec95;
+pub mod zipf;
+
+pub use program::{BehaviorMix, ProgramSpec};

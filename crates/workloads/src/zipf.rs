@@ -1,0 +1,149 @@
+//! A small Zipf-like sampler for branch hotness.
+//!
+//! Real programs execute a few static branches very often and most rarely;
+//! Table 2's `gcc` has 12086 static branches but its dynamic stream is
+//! dominated by a small hot set. The sampler draws indices `0..n` with
+//! probability proportional to `1 / (rank + 1)^s`.
+
+use rand::Rng;
+
+/// A precomputed Zipf sampler over `n` items.
+///
+/// # Example
+///
+/// ```
+/// use ev8_workloads::zipf::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let i = z.sample(&mut rng);
+/// assert!(i < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution, ascending, last element == 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `s` (0 = uniform,
+    /// 1 = classic Zipf, larger = more skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift.
+        *weights.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has no items (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws an index in `0..len()`; rank 0 is the hottest.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of item `rank`.
+    pub fn mass(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.mass(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skewed_head_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(100));
+        // Head item gets ~1/H(1000) ≈ 13% at s=1.
+        assert!(z.mass(0) > 0.1);
+    }
+
+    #[test]
+    fn sampling_matches_masses() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        let total = 200_000;
+        for _ in 0..total {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let emp = counts[r] as f64 / total as f64;
+            let exp = z.mass(r);
+            assert!(
+                (emp - exp).abs() < 0.01 + exp * 0.15,
+                "rank {r}: empirical {emp}, expected {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_in_range_even_at_extremes() {
+        let z = Zipf::new(3, 3.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.mass(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf over zero items")]
+    fn zero_items_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the synthetic workload generator: structural
+//! invariants any generated trace must satisfy, across random spec
+//! parameters.
+
+use proptest::prelude::*;
+
+use ev8_trace::{BranchKind, TraceStats};
+use ev8_workloads::{BehaviorMix, ProgramSpec};
+
+fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
+    (
+        1u64..10_000,
+        2usize..300,
+        20_000u64..120_000,
+        40.0f64..180.0,
+        0.0f64..=1.0,
+        0.0f64..0.25,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(
+            |(seed, statics, instructions, density, skew, calls, noise, chain)| ProgramSpec {
+                name: format!("prop-{seed}"),
+                seed,
+                static_branches: statics,
+                instructions,
+                branch_density: density,
+                mix: BehaviorMix::default_integer(),
+                hotness_skew: skew,
+                call_fraction: calls,
+                noise,
+                chain_length_bias: chain,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instruction_budget_and_counts_hold(spec in arb_spec()) {
+        let t = spec.generate();
+        prop_assert!(t.instruction_count() >= spec.instructions);
+        // The walk stops at the first record boundary past the budget.
+        prop_assert!(
+            t.instruction_count() < spec.instructions + 5_000,
+            "overshoot {} on budget {}",
+            t.instruction_count(),
+            spec.instructions
+        );
+        // Builder bookkeeping: counts equal records + gaps.
+        let sum: u64 =
+            t.len() as u64 + t.iter().map(|r| r.gap as u64).sum::<u64>();
+        prop_assert_eq!(sum, t.instruction_count());
+    }
+
+    #[test]
+    fn static_footprint_never_exceeds_spec(spec in arb_spec()) {
+        let t = spec.generate();
+        let stats = TraceStats::from_trace(&t);
+        prop_assert!(stats.static_conditional as usize <= spec.static_branches);
+        prop_assert!(stats.dynamic_conditional > 0);
+    }
+
+    #[test]
+    fn calls_and_returns_balance(spec in arb_spec()) {
+        let t = spec.generate();
+        let stats = TraceStats::from_trace(&t);
+        let calls = stats.per_kind.get(&BranchKind::Call).copied().unwrap_or(0);
+        let rets = stats.per_kind.get(&BranchKind::Return).copied().unwrap_or(0);
+        prop_assert!(rets <= calls, "returns {rets} exceed calls {calls}");
+    }
+
+    #[test]
+    fn non_conditional_records_are_taken(spec in arb_spec()) {
+        let t = spec.generate();
+        for rec in t.iter() {
+            if rec.kind.is_always_taken() {
+                prop_assert!(rec.is_taken(), "{rec}");
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_are_instruction_aligned_and_in_region(spec in arb_spec()) {
+        let t = spec.generate();
+        for rec in t.iter() {
+            prop_assert_eq!(rec.pc.as_u64() % 4, 0);
+            prop_assert_eq!(rec.target.as_u64() % 4, 0);
+            prop_assert!(rec.pc.as_u64() >= 0x1_0000);
+            prop_assert!(rec.target.as_u64() >= 0x1_0000);
+        }
+    }
+
+    #[test]
+    fn density_tracks_target_loosely(spec in arb_spec()) {
+        // Density calibration is approximate but must stay in the right
+        // regime across the whole parameter space.
+        let t = spec.generate();
+        let stats = TraceStats::from_trace(&t);
+        let density = stats.branch_density();
+        prop_assert!(
+            density > spec.branch_density * 0.4 && density < spec.branch_density * 2.5,
+            "density {density} vs target {}",
+            spec.branch_density
+        );
+    }
+}

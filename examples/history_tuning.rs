@@ -1,0 +1,58 @@
+//! History-length tuning (§4.5, §5.3): sweep the G1 history length of a
+//! 4×64K 2Bc-gskew and watch accuracy improve well past
+//! `log2(entries) = 16` — the paper's "very long history" argument — then
+//! degrade once the history outruns the workload's correlation depth.
+//!
+//! ```text
+//! cargo run --release --example history_tuning [benchmark] [scale]
+//! ```
+
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+use ev8_sim::report::TextTable;
+use ev8_sim::simulate;
+use ev8_sim::sweep::{default_workers, run_parallel};
+use ev8_workloads::spec95;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "li".to_owned());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.1);
+    let spec = spec95::benchmark(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench:?}; use one of {:?}", spec95::NAMES));
+    let trace = std::sync::Arc::new(spec.generate_scaled(scale));
+    println!(
+        "sweeping G1 history length on {} ({} branches)\n",
+        bench,
+        trace.conditional_count()
+    );
+
+    let lengths: Vec<u32> = vec![0, 4, 8, 12, 16, 20, 24, 27, 32, 40];
+    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = lengths
+        .iter()
+        .map(|&h| {
+            let trace = std::sync::Arc::clone(&trace);
+            Box::new(move || {
+                let cfg = TwoBcGskewConfig::size_512k().with_history_lengths(0, 17, h, 20);
+                simulate(TwoBcGskew::new(cfg), &trace).misp_per_ki()
+            }) as Box<dyn FnOnce() -> f64 + Send>
+        })
+        .collect();
+    let results = run_parallel(jobs, default_workers());
+
+    let mut table = TextTable::new(vec!["G1 history length".into(), "misp/KI".into()]);
+    let mut best = (0u32, f64::INFINITY);
+    for (&h, &m) in lengths.iter().zip(&results) {
+        if m < best.1 {
+            best = (h, m);
+        }
+        table.row(vec![h.to_string(), format!("{m:.3}")]);
+    }
+    println!("{table}");
+    println!(
+        "best length: {} (log2 of the 64K-entry table is 16 — the paper's \
+         point is that the optimum usually lies beyond it)",
+        best.0
+    );
+}

@@ -1,0 +1,139 @@
+//! Smoke coverage of every experiment module at tiny scale: each report
+//! must produce the expected table geometry, parseable numeric cells and
+//! a valid CSV export. (Shape assertions live in `paper_shapes.rs` and in
+//! each experiment's own tests; this suite pins the harness surface.)
+
+use ev8_sim::experiments;
+use ev8_sim::report::ExperimentReport;
+use ev8_sim::sweep::default_workers;
+
+const SCALE: f64 = 0.0008;
+
+fn check(report: &ExperimentReport, expected_rows: usize, numeric_cols: &[usize]) {
+    assert_eq!(report.table.len(), expected_rows, "{}", report.title);
+    for row in 0..report.table.len() {
+        for &col in numeric_cols {
+            let cell = report.table.cell(row, col);
+            let cleaned = cell
+                .trim_end_matches('%')
+                .trim_start_matches('+')
+                .replace("x", "");
+            assert!(
+                cleaned.parse::<f64>().is_ok(),
+                "{}: cell ({row},{col}) = {cell:?} not numeric",
+                report.title
+            );
+        }
+    }
+    // CSV export round-trips the geometry.
+    let csv = report.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), report.table.len() + 1, "{}", report.title);
+    let dir = std::env::temp_dir();
+    let path = report.write_csv(&dir).expect("csv written");
+    assert!(path.exists());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn table1_structure() {
+    check(&experiments::table1::report(), 4, &[3]);
+}
+
+#[test]
+fn table2_structure() {
+    check(&experiments::table2::report(SCALE), 8, &[1, 2, 3, 4]);
+}
+
+#[test]
+fn table3_structure() {
+    check(&experiments::table3::report(SCALE), 8, &[1, 2]);
+}
+
+#[test]
+fn fig5_structure() {
+    check(&experiments::fig5::report(SCALE, default_workers()), 6, &[1, 5, 9]);
+}
+
+#[test]
+fn fig6_structure() {
+    check(&experiments::fig6::report(SCALE, default_workers()), 6, &[1, 9]);
+}
+
+#[test]
+fn fig7_structure() {
+    check(&experiments::fig7::report(SCALE, default_workers()), 5, &[1, 9]);
+}
+
+#[test]
+fn fig8_structure() {
+    check(&experiments::fig8::report(SCALE, default_workers()), 3, &[1, 9]);
+}
+
+#[test]
+fn fig9_structure() {
+    check(&experiments::fig9::report(SCALE, default_workers()), 6, &[1, 9]);
+}
+
+#[test]
+fn fig10_structure() {
+    check(&experiments::fig10::report(SCALE, default_workers()), 3, &[1, 9]);
+}
+
+#[test]
+fn delayed_update_structure() {
+    check(
+        &experiments::delayed_update::report(SCALE, default_workers(), 16),
+        8,
+        &[1, 2, 4],
+    );
+}
+
+#[test]
+fn frontend_structure() {
+    check(&experiments::frontend::report(SCALE), 8, &[1, 2, 3]);
+}
+
+#[test]
+fn smt_structure() {
+    check(&experiments::smt::report(SCALE), 4, &[1, 2, 3]);
+}
+
+#[test]
+fn backup_structure() {
+    check(&experiments::backup::report(SCALE, default_workers()), 8, &[1, 2, 3]);
+}
+
+#[test]
+fn history_sweep_structure() {
+    let r = experiments::history_sweep::report(SCALE, default_workers());
+    check(&r, experiments::history_sweep::LENGTHS.len(), &[1, 2]);
+}
+
+#[test]
+fn update_traffic_structure() {
+    // Columns 3 and 4 are "a+b" pairs, checked by the module's own test.
+    check(
+        &experiments::update_traffic::report(SCALE, default_workers()),
+        8,
+        &[1, 2],
+    );
+}
+
+#[test]
+fn aliasing_structure() {
+    check(
+        &experiments::aliasing::report(0.01, default_workers()),
+        experiments::aliasing::FOOTPRINTS.len(),
+        &[1, 2, 3],
+    );
+}
+
+#[test]
+fn scaling_structure() {
+    check(
+        &experiments::scaling::report("compress", 0.02, default_workers()),
+        2,
+        &[1, 2, 3],
+    );
+}

@@ -1,0 +1,162 @@
+//! Shape assertions from the paper's evaluation, checked end-to-end at
+//! reduced scale. Full-scale numbers live in EXPERIMENTS.md; these tests
+//! pin the *directions* that must not regress.
+
+use ev8_core::{Ev8Config, Ev8Predictor, HistoryMode};
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig, UpdatePolicy};
+use ev8_sim::simulate;
+use ev8_workloads::spec95;
+
+#[test]
+fn ev8_constraints_cost_little() {
+    // §8.5 headline: "the 352 Kbits Alpha EV8 branch predictor stands the
+    // comparison against a 512 Kbits 2Bc-gskew predictor using
+    // conventional branch history."
+    let mut ev8_total = 0.0;
+    let mut unconstrained_total = 0.0;
+    for name in ["compress", "li", "m88ksim", "vortex"] {
+        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.01);
+        ev8_total += simulate(Ev8Predictor::ev8(), &trace).misp_per_ki();
+        unconstrained_total += simulate(
+            Ev8Predictor::new(Ev8Config::unconstrained_512k()),
+            &trace,
+        )
+        .misp_per_ki();
+    }
+    assert!(
+        ev8_total <= unconstrained_total * 1.25 + 1.0,
+        "EV8 (sum {ev8_total:.2}) should stand comparison with the \
+         unconstrained 512Kb predictor (sum {unconstrained_total:.2})"
+    );
+}
+
+#[test]
+fn partial_update_beats_total_update() {
+    // §4.2: "Partial update policy was shown to result in higher
+    // prediction accuracy than total update policy."
+    // Partial update's benefit is a steady-state effect (better space
+    // utilization under aliasing); short cold runs favour total update,
+    // so this test runs at a fifth of the paper's trace length.
+    let mut partial_total = 0u64;
+    let mut total_total = 0u64;
+    for name in ["gcc", "vortex", "li"] {
+        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.2);
+        partial_total +=
+            simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).mispredictions;
+        total_total += simulate(
+            TwoBcGskew::new(
+                TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total),
+            ),
+            &trace,
+        )
+        .mispredictions;
+    }
+    assert!(
+        partial_total < total_total,
+        "partial update ({partial_total}) should beat total update ({total_total})"
+    );
+}
+
+#[test]
+fn half_hysteresis_is_nearly_free() {
+    // Fig 8: "the effect of using half size hysteresis tables for G0 and
+    // Meta is barely noticeable" (except on go).
+    let trace = spec95::benchmark("vortex").unwrap().generate_scaled(0.2);
+    let full = simulate(
+        TwoBcGskew::new(TwoBcGskewConfig::size_512k_small_bim()),
+        &trace,
+    );
+    let half = simulate(TwoBcGskew::new(TwoBcGskewConfig::ev8_size()), &trace);
+    let delta = half.misp_per_ki() - full.misp_per_ki();
+    assert!(
+        delta < 2.0,
+        "half hysteresis should be nearly free: {} vs {} (delta {delta:.3})",
+        half.misp_per_ki(),
+        full.misp_per_ki()
+    );
+}
+
+#[test]
+fn long_history_beats_log2_history() {
+    // §5.3 / Fig 6: history longer than log2(entries) pays off. Checked
+    // on the correlation-heavy li analogue.
+    let trace = spec95::benchmark("li").unwrap().generate_scaled(0.2);
+    let best = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace);
+    let log2 = simulate(
+        TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_history_lengths(0, 16, 16, 16)),
+        &trace,
+    );
+    assert!(
+        best.mispredictions <= log2.mispredictions,
+        "long history ({}) should not lose to log2 history ({})",
+        best.mispredictions,
+        log2.mispredictions
+    );
+}
+
+#[test]
+fn lghist_is_competitive_with_ghist() {
+    // Fig 7: "quite surprisingly, lghist has same performance as
+    // conventional branch history."
+    let mut lghist_total = 0.0;
+    let mut ghist_total = 0.0;
+    for name in ["compress", "m88ksim", "vortex"] {
+        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.01);
+        lghist_total += simulate(
+            Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
+            &trace,
+        )
+        .misp_per_ki();
+        ghist_total += simulate(
+            Ev8Predictor::new(Ev8Config::unconstrained_512k()),
+            &trace,
+        )
+        .misp_per_ki();
+    }
+    assert!(
+        lghist_total <= ghist_total * 1.2 + 0.5,
+        "lghist ({lghist_total:.2}) should be competitive with ghist ({ghist_total:.2})"
+    );
+}
+
+#[test]
+fn three_old_history_loss_is_limited() {
+    // Fig 7: "using three fetch blocks old history slightly degrades the
+    // accuracy of the predictor, but the impact is limited."
+    let trace = spec95::benchmark("m88ksim").unwrap().generate_scaled(0.02);
+    let immediate = simulate(
+        Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
+        &trace,
+    );
+    let three_old = simulate(
+        Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_3old())),
+        &trace,
+    );
+    let ratio = three_old.misp_per_ki() / immediate.misp_per_ki().max(0.01);
+    assert!(
+        ratio < 2.0,
+        "3-old history loss should be bounded: {} vs {} ({ratio:.2}x)",
+        three_old.misp_per_ki(),
+        immediate.misp_per_ki()
+    );
+}
+
+#[test]
+fn go_is_the_hardest_benchmark() {
+    // Table 2 / Fig 5: go has the largest footprint and weakest biases;
+    // it must be the worst-predicted benchmark, as in the paper.
+    let mut worst = ("", 0.0f64);
+    for name in spec95::NAMES {
+        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.005);
+        let m = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).misp_per_ki();
+        if m > worst.1 {
+            worst = (name, m);
+        }
+    }
+    assert!(
+        worst.0 == "go" || worst.0 == "gcc",
+        "go (or the aliasing-bound gcc) should be hardest, got {} ({:.2})",
+        worst.0,
+        worst.1
+    );
+}

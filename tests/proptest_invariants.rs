@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+
+use ev8_core::banks::{bank_for, BankSequencer};
+use ev8_core::fetch::FetchState;
+use ev8_predictors::counter::Counter2;
+use ev8_predictors::history::GlobalHistory;
+use ev8_predictors::skew::{h_inverse, h_transform, skew_index, xor_fold};
+use ev8_predictors::table::SplitCounterTable;
+use ev8_trace::{codec, BranchKind, BranchRecord, Outcome, Pc, TraceBuilder};
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Unconditional),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::IndirectJump),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (any::<u32>(), any::<u32>(), arb_kind(), any::<bool>(), 0u32..200).prop_map(
+        |(pc, target, kind, taken, gap)| {
+            let taken = taken || kind.is_always_taken();
+            BranchRecord {
+                pc: Pc::new(pc as u64 * 4),
+                target: Pc::new(target as u64 * 4),
+                kind,
+                outcome: Outcome::from(taken),
+                gap,
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_arbitrary_traces(records in prop::collection::vec(arb_record(), 0..300)) {
+        let mut b = TraceBuilder::new("prop");
+        for r in &records {
+            b.branch(*r);
+        }
+        let trace = b.finish();
+        let mut buf = Vec::new();
+        codec::write_trace(&mut buf, &trace).unwrap();
+        let back = codec::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn trace_builder_instruction_accounting(gaps in prop::collection::vec(0u64..100, 1..100)) {
+        let mut b = TraceBuilder::new("prop");
+        let mut expected = 0u64;
+        for (i, &g) in gaps.iter().enumerate() {
+            b.run(g);
+            expected += g + 1;
+            b.branch(BranchRecord::conditional(
+                Pc::new(0x1000 + i as u64 * 4),
+                Pc::new(0x2000),
+                i % 2 == 0,
+            ));
+        }
+        let t = b.finish();
+        prop_assert_eq!(t.instruction_count(), expected);
+        prop_assert_eq!(t.len(), gaps.len());
+    }
+
+    #[test]
+    fn counter_never_leaves_range(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut c = Counter2::default();
+        for &taken in &ops {
+            c.train(Outcome::from(taken));
+            prop_assert!(c.value() <= 3);
+            // The split representation always reassembles exactly.
+            prop_assert_eq!(
+                Counter2::from_split(c.prediction_bit(), c.hysteresis_bits()),
+                c
+            );
+        }
+    }
+
+    #[test]
+    fn counter_agrees_with_reference_model(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+        // Reference: a plain clamped integer.
+        let mut c = Counter2::default();
+        let mut model: i32 = 1;
+        for &taken in &ops {
+            c.train(Outcome::from(taken));
+            model = (model + if taken { 1 } else { -1 }).clamp(0, 3);
+            prop_assert_eq!(c.value() as i32, model);
+            prop_assert_eq!(c.prediction().is_taken(), model >= 2);
+        }
+    }
+
+    #[test]
+    fn split_table_matches_dense_counters(
+        ops in prop::collection::vec((0usize..32, any::<bool>()), 0..200)
+    ) {
+        // With full-size hysteresis, the split table must behave exactly
+        // like an array of 2-bit counters.
+        let mut table = SplitCounterTable::full(5);
+        let mut dense = [Counter2::default(); 32];
+        for &(idx, taken) in &ops {
+            table.train(idx, Outcome::from(taken));
+            dense[idx].train(Outcome::from(taken));
+        }
+        for (i, d) in dense.iter().enumerate() {
+            prop_assert_eq!(&table.read(i), d);
+        }
+    }
+
+    #[test]
+    fn h_transform_is_a_bijection(x in any::<u64>(), n in 1u32..=64) {
+        let m = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let y = h_transform(x, n);
+        prop_assert!(y <= m);
+        prop_assert_eq!(h_inverse(y, n), x & m);
+    }
+
+    #[test]
+    fn skew_index_stays_in_range(bank in 0u32..4, v1 in any::<u64>(), v2 in any::<u64>(), n in 1u32..=32) {
+        prop_assert!(skew_index(bank, v1, v2, n) < (1u64 << n));
+    }
+
+    #[test]
+    fn xor_fold_preserves_zero_and_range(v in any::<u128>(), n in 1u32..=63) {
+        prop_assert!(xor_fold(v, n) < (1u64 << n));
+        prop_assert_eq!(xor_fold(0, n), 0);
+    }
+
+    #[test]
+    fn global_history_window_semantics(
+        bits in prop::collection::vec(any::<bool>(), 0..100),
+        len in 1u32..=64,
+    ) {
+        let mut h = GlobalHistory::new(len);
+        for &b in &bits {
+            h.push(Outcome::from(b));
+        }
+        // The register equals the last `len` outcomes, newest in bit 0.
+        let mut expected = 0u64;
+        for &b in bits.iter().rev().take(len as usize).collect::<Vec<_>>().iter().rev() {
+            expected = (expected << 1) | (*b as u64);
+        }
+        if len < 64 {
+            expected &= (1u64 << len) - 1;
+        }
+        prop_assert_eq!(h.bits(), expected);
+    }
+
+    #[test]
+    fn bank_never_repeats(y in any::<u64>(), prev in 0u8..4) {
+        let b = bank_for(Pc::new(y), prev);
+        prop_assert!(b < 4);
+        prop_assert_ne!(b, prev);
+    }
+
+    #[test]
+    fn bank_sequences_conflict_free(addrs in prop::collection::vec(any::<u32>(), 1..500)) {
+        let mut seq = BankSequencer::new();
+        let mut prev = None;
+        for a in addrs {
+            let b = seq.next_bank(Pc::new(a as u64 * 32));
+            prop_assert_ne!(Some(b), prev);
+            prev = Some(b);
+        }
+    }
+
+    #[test]
+    fn fetch_blocks_always_within_limits(records in prop::collection::vec(arb_record(), 1..300)) {
+        let mut fs = FetchState::new();
+        let mut check = |b: ev8_core::fetch::FetchBlock| {
+            assert!(b.instructions >= 1 && b.instructions <= 8, "{b:?}");
+            let last = b.start.as_u64() + 4 * (b.instructions as u64 - 1);
+            assert_eq!(b.start.as_u64() & !31, last & !31, "block spans regions: {b:?}");
+        };
+        for r in &records {
+            fs.feed(r, &mut check);
+        }
+        fs.flush(&mut check);
+    }
+
+    #[test]
+    fn fetch_block_conditionals_accounted(records in prop::collection::vec(arb_record(), 1..300)) {
+        // Every conditional record lands in exactly one block.
+        let mut fs = FetchState::new();
+        let mut cond_in_blocks = 0u64;
+        let mut add = |b: ev8_core::fetch::FetchBlock| cond_in_blocks += b.conditional_count as u64;
+        for r in &records {
+            fs.feed(r, &mut add);
+        }
+        fs.flush(&mut add);
+        let cond_records = records.iter().filter(|r| r.kind.is_conditional()).count() as u64;
+        prop_assert_eq!(cond_in_blocks, cond_records);
+    }
+
+    #[test]
+    fn pc_bit_field_consistency(addr in any::<u64>(), lo in 0u32..60, len in 1u32..=4) {
+        let pc = Pc::new(addr);
+        let field = pc.bits(lo, len);
+        for i in 0..len {
+            prop_assert_eq!((field >> i) & 1, pc.bit(lo + i));
+        }
+    }
+}

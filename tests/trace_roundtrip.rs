@@ -1,0 +1,54 @@
+//! Trace persistence integration: a generated suite benchmark survives
+//! the binary codec byte-for-byte, through real files, and simulations on
+//! the reloaded trace are identical.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use ev8_core::Ev8Predictor;
+use ev8_sim::simulate;
+use ev8_trace::{codec, TraceStats};
+use ev8_workloads::spec95;
+
+#[test]
+fn file_roundtrip_preserves_trace_and_results() {
+    let trace = spec95::benchmark("ijpeg").unwrap().generate_scaled(0.005);
+    let path = std::env::temp_dir().join("ev8_test_roundtrip.ev8t");
+
+    codec::write_trace(BufWriter::new(File::create(&path).unwrap()), &trace).unwrap();
+    let reloaded = codec::read_trace(BufReader::new(File::open(&path).unwrap())).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(reloaded, trace);
+    let before = simulate(Ev8Predictor::ev8(), &trace);
+    let after = simulate(Ev8Predictor::ev8(), &reloaded);
+    assert_eq!(before.mispredictions, after.mispredictions);
+}
+
+#[test]
+fn codec_is_compact_on_real_workloads() {
+    let trace = spec95::benchmark("gcc").unwrap().generate_scaled(0.005);
+    let mut buf = Vec::new();
+    codec::write_trace(&mut buf, &trace).unwrap();
+    let bytes_per_record = buf.len() as f64 / trace.len() as f64;
+    // Delta+varint encoding should stay well under the 21-byte naive
+    // record size.
+    assert!(
+        bytes_per_record < 8.0,
+        "expected < 8 bytes/record, got {bytes_per_record:.2}"
+    );
+}
+
+#[test]
+fn stats_survive_roundtrip() {
+    let trace = spec95::benchmark("go").unwrap().generate_scaled(0.002);
+    let mut buf = Vec::new();
+    codec::write_trace(&mut buf, &trace).unwrap();
+    let reloaded = codec::read_trace(&mut buf.as_slice()).unwrap();
+    let a = TraceStats::from_trace(&trace);
+    let b = TraceStats::from_trace(&reloaded);
+    assert_eq!(a.dynamic_conditional, b.dynamic_conditional);
+    assert_eq!(a.static_conditional, b.static_conditional);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.per_kind, b.per_kind);
+}
