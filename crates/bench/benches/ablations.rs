@@ -3,14 +3,14 @@
 //! Each ablation runs the 2Bc-gskew / EV8 predictor with one design
 //! decision reverted and reports both the **accuracy delta** (printed
 //! once, to stderr, as mispredictions on the probe workload) and the
-//! **simulation throughput** (the Criterion measurement):
+//! **simulation throughput** (the harness measurement):
 //!
 //! * partial vs total update policy (§4.2),
 //! * private vs shared (half-size) hysteresis (§4.4),
 //! * per-table vs uniform history lengths (§4.5),
 //! * lghist path bit on/off (§5.1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ev8_util::bench::Harness;
 
 use ev8_core::{Ev8Config, Ev8Predictor, HistoryMode};
 use ev8_predictors::twobcgskew::{TableConfig, TwoBcGskew, TwoBcGskewConfig, UpdatePolicy};
@@ -35,7 +35,8 @@ fn announce(label: &str, trace: &Trace, a: Box<dyn BranchPredictor>, b: Box<dyn 
     );
 }
 
-fn ablations(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let trace = probe_trace();
     let branches = trace.conditional_count();
 
@@ -80,42 +81,29 @@ fn ablations(c: &mut Criterion) {
     );
 
     // Throughput measurements.
-    let mut group = c.benchmark_group("ablations");
-    group.throughput(Throughput::Elements(branches));
+    let mut group = h.group("ablations");
+    group.throughput(branches);
     group.sample_size(10);
-    group.bench_with_input(
-        BenchmarkId::from_parameter("partial-update"),
-        &trace,
-        |b, t| b.iter(|| simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), t)),
-    );
-    group.bench_with_input(
-        BenchmarkId::from_parameter("total-update"),
-        &trace,
-        |b, t| {
-            b.iter(|| {
-                simulate(
-                    TwoBcGskew::new(
-                        TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total),
-                    ),
-                    t,
-                )
-            })
-        },
-    );
-    group.bench_with_input(
-        BenchmarkId::from_parameter("commit-window-64"),
-        &trace,
-        |b, t| {
-            b.iter(|| {
-                simulate(
-                    TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_commit_window(64)),
-                    t,
-                )
-            })
-        },
-    );
+    group.bench("partial-update", |b| {
+        b.iter(|| simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace))
+    });
+    group.bench("total-update", |b| {
+        b.iter(|| {
+            simulate(
+                TwoBcGskew::new(
+                    TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total),
+                ),
+                &trace,
+            )
+        })
+    });
+    group.bench("commit-window-64", |b| {
+        b.iter(|| {
+            simulate(
+                TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_commit_window(64)),
+                &trace,
+            )
+        })
+    });
     group.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! and the partial update — against the unconstrained (complete-hash,
 //! conventional-history) configuration and the plain 2Bc-gskew scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ev8_util::bench::Harness;
 
 use ev8_core::{Ev8Config, Ev8Predictor, HistoryMode};
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
@@ -17,40 +17,30 @@ fn bench_trace() -> Trace {
         .generate_scaled(0.002)
 }
 
-fn pipeline(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let trace = bench_trace();
     let branches = trace.conditional_count();
-    let mut group = c.benchmark_group("ev8_pipeline");
-    group.throughput(Throughput::Elements(branches));
+    let mut group = h.group("ev8_pipeline");
+    group.throughput(branches);
     group.sample_size(10);
 
-    group.bench_with_input(BenchmarkId::from_parameter("ev8-full"), &trace, |b, t| {
-        b.iter(|| simulate(Ev8Predictor::ev8(), t))
+    group.bench("ev8-full", |b| {
+        b.iter(|| simulate(Ev8Predictor::ev8(), &trace))
     });
-    group.bench_with_input(
-        BenchmarkId::from_parameter("ev8-complete-hash"),
-        &trace,
-        |b, t| {
-            b.iter(|| {
-                simulate(
-                    Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::ev8())),
-                    t,
-                )
-            })
-        },
-    );
-    group.bench_with_input(
-        BenchmarkId::from_parameter("ev8-ghist-unconstrained"),
-        &trace,
-        |b, t| b.iter(|| simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), t)),
-    );
-    group.bench_with_input(
-        BenchmarkId::from_parameter("plain-2bcgskew"),
-        &trace,
-        |b, t| b.iter(|| simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), t)),
-    );
+    group.bench("ev8-complete-hash", |b| {
+        b.iter(|| {
+            simulate(
+                Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::ev8())),
+                &trace,
+            )
+        })
+    });
+    group.bench("ev8-ghist-unconstrained", |b| {
+        b.iter(|| simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace))
+    });
+    group.bench("plain-2bcgskew", |b| {
+        b.iter(|| simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace))
+    });
     group.finish();
 }
-
-criterion_group!(benches, pipeline);
-criterion_main!(benches);

@@ -2,18 +2,19 @@
 //! the skewing-family complete hash, and the primitive `H` transform /
 //! XOR fold.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ev8_util::bench::{black_box, Harness};
 
 use ev8_core::config::WordlineMode;
 use ev8_core::index::IndexInputs;
 use ev8_predictors::skew::{h_transform, skew_index, xor_fold, InfoVector};
 use ev8_trace::Pc;
 
-fn index_functions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_functions");
-    group.throughput(Throughput::Elements(1024));
+fn main() {
+    let mut h = Harness::from_env();
+    let mut group = h.group("index_functions");
+    group.throughput(1024);
 
-    group.bench_function("ev8_all_four_tables", |b| {
+    group.bench("ev8_all_four_tables", |b| {
         b.iter(|| {
             let mut acc = 0usize;
             for i in 0..1024u64 {
@@ -30,23 +31,24 @@ fn index_functions(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("complete_hash_all_four_tables", |b| {
+    group.bench("complete_hash_all_four_tables", |b| {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..1024u64 {
                 let pc = Pc::new(0x1_0000 + i * 4);
-                let h = i.wrapping_mul(0x9E37_79B9);
-                for (bank, (bits, hlen)) in
-                    [(14u32, 4u32), (16, 13), (16, 21), (16, 15)].iter().enumerate()
+                let hist = i.wrapping_mul(0x9E37_79B9);
+                for (bank, (bits, hlen)) in [(14u32, 4u32), (16, 13), (16, 21), (16, 15)]
+                    .iter()
+                    .enumerate()
                 {
-                    acc ^= InfoVector::new(pc, h, *hlen, *bits).index(bank as u32);
+                    acc ^= InfoVector::new(pc, hist, *hlen, *bits).index(bank as u32);
                 }
             }
             black_box(acc)
         })
     });
 
-    group.bench_function("h_transform_16bit", |b| {
+    group.bench("h_transform_16bit", |b| {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..1024u64 {
@@ -56,7 +58,7 @@ fn index_functions(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("skew_index_bank2", |b| {
+    group.bench("skew_index_bank2", |b| {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..1024u64 {
@@ -66,7 +68,7 @@ fn index_functions(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("xor_fold_64_to_16", |b| {
+    group.bench("xor_fold_64_to_16", |b| {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..1024u64 {
@@ -78,6 +80,3 @@ fn index_functions(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, index_functions);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! workload chunk: how many branches per second each predictor sustains
 //! in trace-driven simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ev8_util::bench::Harness;
 
 use ev8_predictors::agree::Agree;
 use ev8_predictors::bimodal::Bimodal;
@@ -34,7 +34,10 @@ fn predictors() -> Vec<(&'static str, Make)> {
         ("gshare", Box::new(|| Box::new(Gshare::new(16, 16)))),
         ("gselect", Box::new(|| Box::new(Gselect::new(16, 8)))),
         ("local", Box::new(|| Box::new(LocalPredictor::new(10, 10)))),
-        ("tournament", Box::new(|| Box::new(Tournament::alpha_21264()))),
+        (
+            "tournament",
+            Box::new(|| Box::new(Tournament::alpha_21264())),
+        ),
         ("egskew", Box::new(|| Box::new(EGskew::new(14, 14)))),
         (
             "2bcgskew-512k",
@@ -47,19 +50,15 @@ fn predictors() -> Vec<(&'static str, Make)> {
     ]
 }
 
-fn throughput(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let trace = bench_trace();
     let branches = trace.conditional_count();
-    let mut group = c.benchmark_group("predictor_throughput");
-    group.throughput(Throughput::Elements(branches));
+    let mut group = h.group("predictor_throughput");
+    group.throughput(branches);
     group.sample_size(10);
     for (name, make) in predictors() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
-            b.iter(|| simulate(make(), t))
-        });
+        group.bench(name, |b| b.iter(|| simulate(make(), &trace)));
     }
     group.finish();
 }
-
-criterion_group!(benches, throughput);
-criterion_main!(benches);

@@ -2,46 +2,47 @@
 //! second for a small-footprint (compress-like) and a large-footprint
 //! (gcc-like) benchmark, plus binary trace codec round-trip speed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ev8_util::bench::Harness;
 
 use ev8_trace::codec;
 use ev8_workloads::spec95;
 
-fn generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_generation");
+fn generation(h: &mut Harness) {
+    let mut group = h.group("workload_generation");
     group.sample_size(10);
     for name in ["compress", "gcc"] {
         let spec = spec95::benchmark(name).expect("known benchmark");
         let instructions = (spec.instructions as f64 * 0.002) as u64;
-        group.throughput(Throughput::Elements(instructions));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
-            b.iter(|| s.generate_scaled(0.002))
-        });
+        group.throughput(instructions);
+        group.bench(name, |b| b.iter(|| spec.generate_scaled(0.002)));
     }
     group.finish();
 }
 
-fn codec_roundtrip(c: &mut Criterion) {
+fn codec_roundtrip(h: &mut Harness) {
     let trace = spec95::benchmark("li")
         .expect("known benchmark")
         .generate_scaled(0.002);
     let mut encoded = Vec::new();
     codec::write_trace(&mut encoded, &trace).expect("encode");
-    let mut group = c.benchmark_group("trace_codec");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let mut group = h.group("trace_codec");
+    group.throughput(trace.len() as u64);
     group.sample_size(20);
-    group.bench_function("encode", |b| {
+    group.bench("encode", |b| {
         b.iter(|| {
             let mut buf = Vec::with_capacity(encoded.len());
             codec::write_trace(&mut buf, &trace).expect("encode");
             buf
         })
     });
-    group.bench_function("decode", |b| {
+    group.bench("decode", |b| {
         b.iter(|| codec::read_trace(&mut encoded.as_slice()).expect("decode"))
     });
     group.finish();
 }
 
-criterion_group!(benches, generation, codec_roundtrip);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    generation(&mut h);
+    codec_roundtrip(&mut h);
+}

@@ -28,7 +28,9 @@ fn main() {
     emit(ev8_sim::experiments::fig8::report(scale, workers));
     emit(ev8_sim::experiments::fig9::report(scale, workers));
     emit(ev8_sim::experiments::fig10::report(scale, workers));
-    emit(ev8_sim::experiments::delayed_update::report(scale, workers, 64));
+    emit(ev8_sim::experiments::delayed_update::report(
+        scale, workers, 64,
+    ));
     emit(ev8_sim::experiments::frontend::report(scale));
     emit(ev8_sim::experiments::smt::report((scale * 0.2).min(scale)));
     emit(ev8_sim::experiments::backup::report(scale, workers));

@@ -3,7 +3,9 @@
 fn main() {
     let scale = ev8_bench::scale_from_env();
     let workers = ev8_bench::workers();
-    let bench = std::env::args().nth(2).unwrap_or_else(|| "vortex".to_owned());
+    let bench = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "vortex".to_owned());
     ev8_bench::print_header("trace-length convergence", scale);
     println!(
         "{}",

@@ -17,11 +17,12 @@
 //! (25M instructions per benchmark — minutes, not hours). Use
 //! `EV8_SCALE=1.0` for full-length runs.
 //!
-//! Criterion micro-benchmarks live in `benches/`: per-predictor
-//! prediction throughput, EV8 full-front-end throughput, index-function
-//! cost, workload generation cost, and the design-choice ablations
-//! DESIGN.md calls out (update policy, shared hysteresis, per-table
-//! history lengths, lghist path bit).
+//! Micro-benchmarks live in `benches/` (driven by the in-tree
+//! `ev8_util::bench` harness, so `cargo bench` runs fully offline):
+//! per-predictor prediction throughput, EV8 full-front-end throughput,
+//! index-function cost, workload generation cost, and the design-choice
+//! ablations DESIGN.md calls out (update policy, shared hysteresis,
+//! per-table history lengths, lghist path bit).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -249,8 +249,7 @@ mod tests {
         assert_eq!(Component::G0.words_per_line(), 32);
         // Per-component capacity check: 4 banks × 64 lines × words × 8
         // bits = the logical table sizes of Table 1.
-        let entries =
-            |c: Component| NUM_BANKS as usize * LINES_PER_BANK * c.words_per_line() * 8;
+        let entries = |c: Component| NUM_BANKS as usize * LINES_PER_BANK * c.words_per_line() * 8;
         assert_eq!(entries(Component::Bim), 16 * 1024);
         assert_eq!(entries(Component::G0), 64 * 1024);
         assert_eq!(entries(Component::G1), 64 * 1024);

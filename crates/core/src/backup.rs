@@ -141,7 +141,11 @@ impl BranchPredictor for BackupHierarchy {
         let confident =
             backup_output.abs() as f64 > self.confidence * self.backup.threshold() as f64;
         let backup_prediction = Outcome::from(backup_output >= 0);
-        let overall = if confident { backup_prediction } else { primary };
+        let overall = if confident {
+            backup_prediction
+        } else {
+            primary
+        };
 
         self.stats.branches += 1;
         if primary != record.outcome {

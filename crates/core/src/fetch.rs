@@ -171,7 +171,10 @@ impl FetchState {
     /// Applies a record's branch instruction to the in-progress block.
     /// Must be preceded by [`FetchState::feed_run`] for the same record.
     pub fn feed_branch<F: FnMut(FetchBlock)>(&mut self, record: &BranchRecord, mut on_block: F) {
-        let cur = self.current.as_mut().expect("feed_run must precede feed_branch");
+        let cur = self
+            .current
+            .as_mut()
+            .expect("feed_run must precede feed_branch");
         if record.kind.is_conditional() {
             cur.conditional_count += 1;
             cur.last_conditional = Some((record.pc, record.outcome));
@@ -304,7 +307,7 @@ mod tests {
     #[test]
     fn taken_branch_ends_block() {
         let blocks = feed_all(&[
-            BranchRecord::conditional(Pc::new(0x1008), Pc::new(0x2000), true).with_gap(2)
+            BranchRecord::conditional(Pc::new(0x1008), Pc::new(0x2000), true).with_gap(2),
         ]);
         assert_eq!(blocks.len(), 1);
         let b = blocks[0];
@@ -335,7 +338,7 @@ mod tests {
     fn aligned_boundary_ends_block() {
         // A long straight-line run crosses a 32-byte boundary.
         let blocks = feed_all(&[
-            BranchRecord::conditional(Pc::new(0x1024), Pc::new(0x2000), true).with_gap(9)
+            BranchRecord::conditional(Pc::new(0x1024), Pc::new(0x2000), true).with_gap(9),
         ]);
         // Run covers 0x1000..=0x1024: block 1 = 0x1000..0x1020 (8 instr,
         // boundary), block 2 = 0x1020..=0x1024 (taken).
@@ -449,10 +452,26 @@ mod tests {
     fn block_stats_and_table3_ratio() {
         // One block with 3 conditionals + one block with 1: ratio = 4/2.
         let mut b = TraceBuilder::new("t");
-        b.branch(BranchRecord::conditional(Pc::new(0x1000), Pc::new(0x40), false));
-        b.branch(BranchRecord::conditional(Pc::new(0x1004), Pc::new(0x40), false));
-        b.branch(BranchRecord::conditional(Pc::new(0x1008), Pc::new(0x2000), true));
-        b.branch(BranchRecord::conditional(Pc::new(0x2000), Pc::new(0x1000), true));
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x1000),
+            Pc::new(0x40),
+            false,
+        ));
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x1004),
+            Pc::new(0x40),
+            false,
+        ));
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x1008),
+            Pc::new(0x2000),
+            true,
+        ));
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x2000),
+            Pc::new(0x1000),
+            true,
+        ));
         let t = b.finish();
         let s = BlockStats::from_trace(&t);
         assert_eq!(s.blocks, 2);

@@ -123,7 +123,8 @@ impl IndexInputs {
             | ((self.h(3) ^ self.h(12)) << 1)
             | (self.a(10) ^ self.h(6));
         let i4 = self.a(4) ^ self.a(12) ^ self.h(5) ^ self.h(8) ^ self.h(11) ^ self.z(5);
-        let i3 = self.a(3) ^ self.a(11) ^ self.h(9) ^ self.h(10) ^ self.h(12) ^ self.z(6) ^ self.a(5);
+        let i3 =
+            self.a(3) ^ self.a(11) ^ self.h(9) ^ self.h(10) ^ self.h(12) ^ self.z(6) ^ self.a(5);
         let i2 =
             self.a(2) ^ self.a(14) ^ self.a(10) ^ self.h(6) ^ self.h(4) ^ self.h(7) ^ self.a(6);
         self.assemble(column, (i4 << 2) | (i3 << 1) | i2, 5)

@@ -103,7 +103,12 @@ impl Ev8Predictor {
     pub fn new(config: Ev8Config) -> Self {
         if matches!(config.index, IndexScheme::Ev8 { .. }) {
             assert_eq!(
-                (config.bim.index_bits, config.g0.index_bits, config.g1.index_bits, config.meta.index_bits),
+                (
+                    config.bim.index_bits,
+                    config.g0.index_bits,
+                    config.g1.index_bits,
+                    config.meta.index_bits
+                ),
                 (14, 16, 16, 16),
                 "the EV8 index functions assume the Table 1 geometry"
             );
@@ -153,7 +158,10 @@ impl Ev8Predictor {
     fn path_patch_enabled(&self) -> bool {
         matches!(
             self.config.history,
-            HistoryMode::Lghist { path_patch: true, .. }
+            HistoryMode::Lghist {
+                path_patch: true,
+                ..
+            }
         )
     }
 
@@ -243,7 +251,13 @@ impl Ev8Predictor {
         }
     }
 
-    fn strengthen_participants(&mut self, idx: Indices, d: &Ev8Prediction, chosen: ChosenComponent, outcome: Outcome) {
+    fn strengthen_participants(
+        &mut self,
+        idx: Indices,
+        d: &Ev8Prediction,
+        chosen: ChosenComponent,
+        outcome: Outcome,
+    ) {
         match chosen {
             ChosenComponent::Bimodal => self.bim.strengthen(idx.bim),
             ChosenComponent::Majority => {

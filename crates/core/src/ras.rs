@@ -259,7 +259,7 @@ mod tests {
         jp.train(site, Pc::new(0x4000)); // cold: miss
         assert_eq!(jp.predict(site), Some(Pc::new(0x4000)));
         jp.train(site, Pc::new(0x4000)); // stable target: hit
-        // Target change: one miss then retrained.
+                                         // Target change: one miss then retrained.
         jp.train(site, Pc::new(0x5000)); // miss
         assert_eq!(jp.predict(site), Some(Pc::new(0x5000)));
         assert!((jp.accuracy() - 1.0 / 3.0).abs() < 1e-12);

@@ -9,7 +9,7 @@
 //! lock (usable from worker threads in a parallel simulation), with a
 //! per-thread front end (fetch-block formation, lghist, banks).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use ev8_predictors::twobcgskew::ChosenComponent;
 use ev8_trace::{BranchRecord, Outcome, Pc};
@@ -92,7 +92,10 @@ impl SmtEv8 {
         };
         SmtEv8 {
             tables: Mutex::new(SharedTables {
-                bim: SplitCounterTable::new(config.bim.index_bits, config.bim.hysteresis_index_bits),
+                bim: SplitCounterTable::new(
+                    config.bim.index_bits,
+                    config.bim.hysteresis_index_bits,
+                ),
                 g0: SplitCounterTable::new(config.g0.index_bits, config.g0.hysteresis_index_bits),
                 g1: SplitCounterTable::new(config.g1.index_bits, config.g1.hysteresis_index_bits),
                 meta: SplitCounterTable::new(
@@ -134,7 +137,10 @@ impl SmtEv8 {
             IndexScheme::CompleteHash => {
                 let patch = if matches!(
                     self.config.history,
-                    HistoryMode::Lghist { path_patch: true, .. }
+                    HistoryMode::Lghist {
+                        path_patch: true,
+                        ..
+                    }
                 ) {
                     let mut acc = 0u64;
                     for addr in fe.lghist.recent_addresses() {
@@ -186,7 +192,9 @@ impl SmtEv8 {
     ///
     /// Panics if `thread` is out of range.
     pub fn predict_and_update(&self, thread: ThreadId, record: &BranchRecord) -> Option<Outcome> {
-        let mut fe = self.threads[thread].lock();
+        let mut fe = self.threads[thread]
+            .lock()
+            .expect("front-end lock poisoned");
         let mut completed: Vec<FetchBlock> = Vec::with_capacity(4);
         fe.fetch.feed_run(record, |b| completed.push(b));
         Self::absorb_blocks(&mut fe, &completed);
@@ -194,7 +202,7 @@ impl SmtEv8 {
 
         let prediction = if record.kind.is_conditional() {
             let idx = self.indices(&fe, record.pc);
-            let mut tables = self.tables.lock();
+            let mut tables = self.tables.lock().expect("table lock poisoned");
             let d = read_prediction(&tables, idx);
             apply_partial_update(&mut tables, idx, d, record.outcome);
             Some(d.overall)
@@ -238,21 +246,20 @@ fn read_prediction(t: &SharedTables, idx: Indices) -> Ev8Prediction {
 }
 
 fn apply_partial_update(t: &mut SharedTables, idx: Indices, d: Ev8Prediction, outcome: Outcome) {
-    let strengthen_participants =
-        |t: &mut SharedTables, chosen: ChosenComponent| match chosen {
-            ChosenComponent::Bimodal => t.bim.strengthen(idx.bim),
-            ChosenComponent::Majority => {
-                if d.bim == outcome {
-                    t.bim.strengthen(idx.bim);
-                }
-                if d.g0 == outcome {
-                    t.g0.strengthen(idx.g0);
-                }
-                if d.g1 == outcome {
-                    t.g1.strengthen(idx.g1);
-                }
+    let strengthen_participants = |t: &mut SharedTables, chosen: ChosenComponent| match chosen {
+        ChosenComponent::Bimodal => t.bim.strengthen(idx.bim),
+        ChosenComponent::Majority => {
+            if d.bim == outcome {
+                t.bim.strengthen(idx.bim);
             }
-        };
+            if d.g0 == outcome {
+                t.g0.strengthen(idx.g0);
+            }
+            if d.g1 == outcome {
+                t.g1.strengthen(idx.g1);
+            }
+        }
+    };
     let train_all = |t: &mut SharedTables| {
         t.bim.train(idx.bim, outcome);
         t.g0.train(idx.g0, outcome);
@@ -304,8 +311,8 @@ mod tests {
         for _ in 0..20 {
             p.predict_and_update(0, &taken(0x1010, 0x1000));
         }
-        let fe0 = p.threads[0].lock();
-        let fe1 = p.threads[1].lock();
+        let fe0 = p.threads[0].lock().unwrap();
+        let fe1 = p.threads[1].lock().unwrap();
         assert_ne!(fe0.last_block_start, fe1.last_block_start);
         assert_eq!(fe1.last_block_start, None);
     }
@@ -326,7 +333,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 55, "thread 1 should inherit learned state: {hits}/60");
+        assert!(
+            hits >= 55,
+            "thread 1 should inherit learned state: {hits}/60"
+        );
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Property-based tests of the EV8 hardware-constraint machinery: the
 //! invariants of §6 (banking) and §7 (index functions) on arbitrary
 //! inputs, and the fetch/lghist pipeline on arbitrary record streams.
+//!
+//! Driven by the in-tree deterministic harness (`ev8_util::prop`);
+//! failures report an `EV8_PROP_CASE_SEED` that reproduces them.
 
-use proptest::prelude::*;
+use ev8_util::prop::{check, Gen};
+use ev8_util::{prop_assert, prop_assert_eq};
 
 use ev8_core::config::WordlineMode;
 use ev8_core::index::IndexInputs;
@@ -11,49 +15,48 @@ use ev8_core::{Ev8Predictor, HistoryMode, IndexScheme};
 use ev8_predictors::BranchPredictor;
 use ev8_trace::{BranchKind, BranchRecord, Outcome, Pc};
 
-fn arb_inputs() -> impl Strategy<Value = IndexInputs> {
-    (any::<u32>(), any::<u64>(), any::<u32>(), 0u8..4).prop_map(|(pc, h, z, bank)| IndexInputs {
-        pc: Pc::new(pc as u64),
-        history: h,
-        z: Pc::new(z as u64),
-        bank,
+const CASES: u64 = 64;
+
+fn arb_inputs(g: &mut Gen) -> IndexInputs {
+    IndexInputs {
+        pc: Pc::new(g.u32() as u64),
+        history: g.u64(),
+        z: Pc::new(g.u32() as u64),
+        bank: g.range(0u8..4),
         wordline: WordlineMode::HistoryAndAddress,
+    }
+}
+
+fn arb_records(g: &mut Gen) -> Vec<BranchRecord> {
+    g.vec(1..300, |g| {
+        let pc = Pc::new(0x1_0000 + g.u16() as u64 * 4);
+        let target = Pc::new(0x1_0000 + g.u16() as u64 * 4);
+        let taken = g.bool();
+        let gap = g.range(0u32..40);
+        if g.bool() {
+            BranchRecord::always_taken(pc, target, BranchKind::Call).with_gap(gap)
+        } else {
+            BranchRecord::conditional(pc, target, taken).with_gap(gap)
+        }
     })
 }
 
-fn arb_records() -> impl Strategy<Value = Vec<BranchRecord>> {
-    prop::collection::vec(
-        (any::<u16>(), any::<u16>(), any::<bool>(), 0u32..40, any::<bool>()),
-        1..300,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(pc, target, taken, gap, is_call)| {
-                let pc = Pc::new(0x1_0000 + pc as u64 * 4);
-                let target = Pc::new(0x1_0000 + target as u64 * 4);
-                if is_call {
-                    BranchRecord::always_taken(pc, target, BranchKind::Call).with_gap(gap)
-                } else {
-                    BranchRecord::conditional(pc, target, taken).with_gap(gap)
-                }
-            })
-            .collect()
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn indices_always_in_range(inputs in arb_inputs()) {
+#[test]
+fn indices_always_in_range() {
+    check("indices_always_in_range", CASES, |g| {
+        let inputs = arb_inputs(g);
         prop_assert!(inputs.bim() < 1 << 14);
         prop_assert!(inputs.g0() < 1 << 16);
         prop_assert!(inputs.g1() < 1 << 16);
         prop_assert!(inputs.meta() < 1 << 16);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn shared_bits_are_shared(inputs in arb_inputs()) {
+#[test]
+fn shared_bits_are_shared() {
+    check("shared_bits_are_shared", CASES, |g| {
+        let inputs = arb_inputs(g);
         // §7.3: all four tables share the bank (i1,i0) and wordline
         // (i10..i5) bits.
         let idxs = [inputs.bim(), inputs.g0(), inputs.g1(), inputs.meta()];
@@ -61,18 +64,19 @@ proptest! {
             prop_assert_eq!((idx & 0b11) as u8, inputs.bank);
             prop_assert_eq!(((idx >> 5) & 0x3F) as u64, inputs.wordline_bits());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn block_slots_stay_distinct(
-        base in any::<u32>(),
-        h in any::<u64>(),
-        z in any::<u32>(),
-        bank in 0u8..4,
-    ) {
+#[test]
+fn block_slots_stay_distinct() {
+    check("block_slots_stay_distinct", CASES, |g| {
+        let base = (g.u32() as u64 * 4) & !0b11111;
+        let h = g.u64();
+        let z = g.u32();
+        let bank = g.range(0u8..4);
         // The unshuffle must keep the 8 predictions of one fetch block in
         // 8 distinct word positions, for every table and any context.
-        let base = (base as u64 * 4) & !0b11111;
         for table in 0..4u8 {
             let mut seen = [false; 8];
             for slot in 0..8u64 {
@@ -94,13 +98,15 @@ proptest! {
                 seen[offset] = true;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lghist_visible_length_respected(
-        blocks in prop::collection::vec((any::<u32>(), any::<bool>(), any::<bool>()), 0..200),
-        len in 0u32..=21,
-    ) {
+#[test]
+fn lghist_visible_length_respected() {
+    check("lghist_visible_length_respected", CASES, |g| {
+        let blocks = g.vec(0..200, |g| (g.u32(), g.bool(), g.bool()));
+        let len = g.range(0u32..=21);
         let mut h = DelayedLghist::new(len, true, true);
         for (addr, has_cond, taken) in blocks {
             let addr = Pc::new(addr as u64 & !0b11111);
@@ -115,10 +121,14 @@ proptest! {
         if len == 0 {
             prop_assert_eq!(h.visible_bits(), 0);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ev8_predictor_never_panics_and_counts_sanely(records in arb_records()) {
+#[test]
+fn ev8_predictor_never_panics_and_counts_sanely() {
+    check("ev8_predictor_never_panics_and_counts_sanely", CASES, |g| {
+        let records = arb_records(g);
         let mut p = Ev8Predictor::ev8();
         let mut predictions = 0u64;
         for rec in &records {
@@ -128,10 +138,14 @@ proptest! {
         }
         let conditionals = records.iter().filter(|r| r.kind.is_conditional()).count() as u64;
         prop_assert_eq!(predictions, conditionals);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn index_scheme_variants_agree_on_range(records in arb_records()) {
+#[test]
+fn index_scheme_variants_agree_on_range() {
+    check("index_scheme_variants_agree_on_range", CASES, |g| {
+        let records = arb_records(g);
         // The complete-hash variant must also stay in range and process
         // any stream.
         let cfg = ev8_core::Ev8Config::ev8()
@@ -143,5 +157,6 @@ proptest! {
         }
         // Storage budget invariant.
         prop_assert_eq!(p.storage_bits(), 352 * 1024);
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,180 @@
+//! Golden vectors for the §6 bank interleaving and §7 index functions.
+//!
+//! Every expected value in this file is hand-computed from the equations
+//! documented in `banks.rs` and `index.rs` (which in turn follow the
+//! paper), so a regression in either the bit equations or the index
+//! assembly layout `(column << 11) | (wordline << 5) | (offset << 2) |
+//! bank` shows up as an exact-value mismatch, not just a distribution
+//! shift.
+
+use ev8_core::banks::{bank_for, BankSequencer};
+use ev8_core::config::WordlineMode;
+use ev8_core::index::IndexInputs;
+use ev8_trace::Pc;
+
+// ---------------------------------------------------------------------
+// §6 bank interleaving
+// ---------------------------------------------------------------------
+
+/// Runs a fresh sequencer over a walk of fetch-block addresses and
+/// returns the bank chosen for each block.
+fn bank_walk(addrs: &[u64]) -> Vec<u8> {
+    let mut seq = BankSequencer::new();
+    addrs.iter().map(|&a| seq.next_bank(Pc::new(a))).collect()
+}
+
+#[test]
+fn golden_sequential_code_walk() {
+    // Straight-line code: fetch blocks 0x1000, 0x1020, ... The bank of
+    // block N is picked from block N-2's address bits (6,5) — the
+    // two-cycle-old `Y` — dodging the previous block's bank.
+    //
+    // Hand trace (y = two-blocks-old addr, cand = (y >> 5) & 3):
+    //   blk 0x1000: y=0      cand=0 prev=3 -> 0
+    //   blk 0x1020: y=0      cand=0 prev=0 -> 1 (dodge)
+    //   blk 0x1040: y=0x1000 cand=0 prev=1 -> 0
+    //   blk 0x1060: y=0x1020 cand=1 prev=0 -> 1
+    //   blk 0x1080: y=0x1040 cand=2 prev=1 -> 2
+    //   blk 0x10A0: y=0x1060 cand=3 prev=2 -> 3
+    //   blk 0x10C0: y=0x1080 cand=0 prev=3 -> 0
+    //   blk 0x10E0: y=0x10A0 cand=1 prev=0 -> 1
+    let addrs = [
+        0x1000, 0x1020, 0x1040, 0x1060, 0x1080, 0x10A0, 0x10C0, 0x10E0,
+    ];
+    assert_eq!(bank_walk(&addrs), vec![0, 1, 0, 1, 2, 3, 0, 1]);
+}
+
+#[test]
+fn golden_conflicting_walk_alternates() {
+    // A pathological loop whose blocks all carry the same candidate bank
+    // (bits 6,5 == 2). Once the pipeline fills, the dodge rule makes the
+    // sequence alternate 2,3,2,3 — never starving, never repeating.
+    let addrs = [0x40, 0x140, 0x240, 0x340, 0x440, 0x540, 0x640, 0x740];
+    assert_eq!(bank_walk(&addrs), vec![0, 1, 2, 3, 2, 3, 2, 3]);
+}
+
+#[test]
+fn successive_fetch_blocks_never_share_a_bank() {
+    // §6's guarantee: whatever the control flow, two successive fetch
+    // blocks are predicted out of different banks. Deterministic
+    // pseudo-random walk (no RNG needed — a Weyl sequence suffices).
+    let mut seq = BankSequencer::new();
+    let mut prev = seq.next_bank(Pc::new(0));
+    let mut addr = 0u64;
+    for step in 0..10_000u64 {
+        addr = addr.wrapping_add(0x9E37_79B9_7F4A_7C15) & 0xFFFF_FFE0;
+        let bank = seq.next_bank(Pc::new(addr));
+        assert_ne!(bank, prev, "step {step}: consecutive blocks share bank");
+        prev = bank;
+    }
+}
+
+#[test]
+fn golden_bank_for_dodge_rule() {
+    // candidate free of conflict: taken as-is.
+    assert_eq!(bank_for(Pc::new(0b10_00000), 1), 2);
+    // candidate equals the previous bank: bumped to the next bank mod 4.
+    assert_eq!(bank_for(Pc::new(0b10_00000), 2), 3);
+    assert_eq!(bank_for(Pc::new(0b11_00000), 3), 0);
+}
+
+// ---------------------------------------------------------------------
+// §7 index functions
+// ---------------------------------------------------------------------
+
+fn inputs(pc: u64, history: u64, z: u64, bank: u8, wordline: WordlineMode) -> IndexInputs {
+    IndexInputs {
+        pc: Pc::new(pc),
+        history,
+        z: Pc::new(z),
+        bank,
+        wordline,
+    }
+}
+
+#[test]
+fn golden_all_zero_inputs() {
+    // PC 0, empty history, no previous block, bank 0: every equation is
+    // an XOR of zeros, so all four tables index entry 0.
+    let iv = inputs(0, 0, 0, 0, WordlineMode::HistoryAndAddress);
+    assert_eq!(iv.wordline_bits(), 0);
+    assert_eq!(iv.bim(), 0);
+    assert_eq!(iv.g0(), 0);
+    assert_eq!(iv.g1(), 0);
+    assert_eq!(iv.meta(), 0);
+}
+
+#[test]
+fn golden_mixed_vector() {
+    // pc = 0x4A94 -> a-bits set: 2, 4, 7, 9, 11, 14
+    // history = 0x0F0F0 -> h-bits set: 4..=7, 12..=15
+    // z = 0x60 -> z5 = z6 = 1; bank 2.
+    //
+    // wordline (h3,h2,h1,h0,a8,a7) = 000001 = 1.
+    //
+    // BIM: column = (a11, a10^z5, a9^z6) = (1, 1, 0) = 6
+    //      offset = (a4, a3^z5, a2^z6)   = (1, 1, 0) = 6
+    //      index  = 6<<11 | 1<<5 | 6<<2 | 2 = 12346
+    // G0:  column = (h7^h11, h8^h12, h5^h10, h3^h12, a10^h6)
+    //             = (1,1,1,1,1) = 31
+    //      i4 = a4^a12^h5^h8^h11^z5          = 1^0^1^0^0^1 = 1
+    //      i3 = a3^a11^h9^h10^h12^z6^a5      = 0^1^0^0^1^1^0 = 1
+    //      i2 = a2^a14^a10^h6^h4^h7^a6       = 1^1^0^1^1^1^0 = 1
+    //      index = 31<<11 | 1<<5 | 7<<2 | 2 = 63550
+    // G1:  column = (h19^h12, h18^h11, h17^h10, h16^h4, h15^h20)
+    //             = (1,0,0,1,1) = 19
+    //      i4 = a4^h9^h14^h15^h16^z6 = 1^0^1^1^0^1 = 0
+    //      i3: set terms a4,a11,a14,h4,h6,h5,h13,z5 -> 8 ones = 0
+    //      i2: set terms a2,a9,h4,h7,h12,h13,h14   -> 7 ones = 1
+    //      index = 19<<11 | 1<<5 | 1<<2 | 2 = 38950
+    // Meta: column = (h7^h11, h8^h12, h5^h13, h4^h9, a9^h6)
+    //              = (1,1,0,1,0) = 26
+    //      i4: set terms a4,h7,h13,h14,z5 -> 5 ones = 1
+    //      i3: set terms a14,h4,h6,h14    -> 4 ones = 0
+    //      i2: set terms a2,a9,a11,h5,h12,z6 -> 6 ones = 0
+    //      index = 26<<11 | 1<<5 | 4<<2 | 2 = 53298
+    let iv = inputs(0x4A94, 0x0F0F0, 0x60, 2, WordlineMode::HistoryAndAddress);
+    assert_eq!(iv.wordline_bits(), 1);
+    assert_eq!(iv.bim(), 12346);
+    assert_eq!(iv.g0(), 63550);
+    assert_eq!(iv.g1(), 38950);
+    assert_eq!(iv.meta(), 53298);
+}
+
+#[test]
+fn golden_full_history_vector() {
+    // pc = 0, history = all ones, z = 0, bank 1. Every h_i ^ h_j column
+    // term cancels; only the odd-arity history sums survive.
+    //
+    // wordline (h3,h2,h1,h0,a8,a7) = 111100 = 60.
+    // BIM:  column 0, offset 0           -> 60<<5 | 1 = 1921
+    // G0:   column = (0,0,0,0,a10^h6=1) = 1
+    //       i4 = h5^h8^h11 (3 ones) = 1; i3 = h9^h10^h12 = 1;
+    //       i2 = h6^h4^h7 = 1 -> offset 7
+    //       index = 1<<11 | 60<<5 | 7<<2 | 1 = 3997
+    // G1:   column 0 (all pairs cancel)
+    //       i4 = h9^h14^h15^h16 (4 ones) = 0
+    //       i3: 8 history terms = 0; i2: 8 history terms = 0
+    //       index = 60<<5 | 1 = 1921
+    // Meta: column = (0,0,0,0,a9^h6=1) = 1
+    //       i4: h7,h10,h14,h13 -> 0; i3: h4,h6,h8,h14 -> 0;
+    //       i2: h5,h9,h11,h12 -> 0
+    //       index = 1<<11 | 60<<5 | 1 = 3969
+    let iv = inputs(0, u64::MAX, 0, 1, WordlineMode::HistoryAndAddress);
+    assert_eq!(iv.wordline_bits(), 60);
+    assert_eq!(iv.bim(), 1921);
+    assert_eq!(iv.g0(), 3997);
+    assert_eq!(iv.g1(), 1921);
+    assert_eq!(iv.meta(), 3969);
+}
+
+#[test]
+fn golden_address_only_wordline() {
+    // Same PC as the mixed vector but with the Fig 9 address-only
+    // wordline: (a12..a7) = (0,1,0,1,0,1) = 21. Column/offset equations
+    // are unchanged, so only bits 10..5 of the BIM index move.
+    let iv = inputs(0x4A94, 0x0F0F0, 0x60, 2, WordlineMode::AddressOnly);
+    assert_eq!(iv.wordline_bits(), 21);
+    assert_eq!(iv.bim(), (6 << 11) | (21 << 5) | (6 << 2) | 2);
+    assert_eq!(iv.bim(), 12986);
+}

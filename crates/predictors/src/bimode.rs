@@ -184,7 +184,11 @@ mod tests {
         // If instead the direction table is also wrong, the choice trains.
         p.taken[di] = Counter2::new(3);
         p.update(pc, Outcome::NotTaken);
-        assert_eq!(p.choice[ci].value(), 2, "choice trains when direction wrong");
+        assert_eq!(
+            p.choice[ci].value(),
+            2,
+            "choice trains when direction wrong"
+        );
     }
 
     #[test]

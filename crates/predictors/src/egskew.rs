@@ -66,7 +66,12 @@ impl EGskew {
     }
 
     fn g_indices(&self, pc: Pc) -> (usize, usize) {
-        let iv = InfoVector::new(pc, self.history.bits(), self.history.length(), self.index_bits);
+        let iv = InfoVector::new(
+            pc,
+            self.history.bits(),
+            self.history.length(),
+            self.index_bits,
+        );
         (iv.index(1) as usize, iv.index(2) as usize)
     }
 

@@ -54,7 +54,11 @@ impl Gselect {
 
     fn index(&self, pc: Pc) -> usize {
         let addr_bits = self.index_bits - self.history_bits;
-        let addr = if addr_bits == 0 { 0 } else { pc.bits(2, addr_bits) };
+        let addr = if addr_bits == 0 {
+            0
+        } else {
+            pc.bits(2, addr_bits)
+        };
         ((self.history.low_bits(self.history_bits) << addr_bits) | addr) as usize
     }
 }

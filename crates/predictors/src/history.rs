@@ -97,7 +97,12 @@ impl GlobalHistory {
 
 impl fmt::Debug for GlobalHistory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GlobalHistory({:0width$b})", self.bits, width = self.length as usize)
+        write!(
+            f,
+            "GlobalHistory({:0width$b})",
+            self.bits,
+            width = self.length as usize
+        )
     }
 }
 

@@ -180,7 +180,9 @@ mod tests {
         let mut correct = 0;
         let total = 2000;
         for _ in 0..total {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = (rng >> 33) & 1;
             p.update(noise_pc, Outcome::from(r == 1));
             // At prediction time h0 = r and h2 = previous round's r;
@@ -201,7 +203,10 @@ mod tests {
 
     #[test]
     fn threshold_formula() {
-        assert_eq!(Perceptron::new(4, 16).threshold(), (1.93f64 * 16.0 + 14.0) as i32);
+        assert_eq!(
+            Perceptron::new(4, 16).threshold(),
+            (1.93f64 * 16.0 + 14.0) as i32
+        );
         assert_eq!(Perceptron::new(4, 16).threshold(), 44);
     }
 
@@ -221,7 +226,10 @@ mod tests {
         assert!(y <= p.threshold() + 3, "output {y} overtrained");
         let snapshot = p.weights.clone();
         p.update(pc, Outcome::Taken);
-        assert_eq!(p.weights, snapshot, "confident correct prediction must not train");
+        assert_eq!(
+            p.weights, snapshot,
+            "confident correct prediction must not train"
+        );
     }
 
     #[test]

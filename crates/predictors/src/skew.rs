@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn h_pow_composes() {
         let x = 0b1101_0011;
-        assert_eq!(h_pow(x, 8, 3), h_transform(h_transform(h_transform(x, 8), 8), 8));
+        assert_eq!(
+            h_pow(x, 8, 3),
+            h_transform(h_transform(h_transform(x, 8), 8), 8)
+        );
         assert_eq!(h_inv_pow(h_pow(x, 8, 5), 8, 5), x);
         assert_eq!(h_pow(x, 8, 0), x);
     }

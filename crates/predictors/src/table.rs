@@ -93,7 +93,10 @@ impl SplitCounterTable {
     /// Panics if `index` is out of bounds.
     #[inline]
     pub fn read(&self, index: usize) -> Counter2 {
-        Counter2::from_split(self.prediction[index], self.hysteresis[index & self.hysteresis_mask])
+        Counter2::from_split(
+            self.prediction[index],
+            self.hysteresis[index & self.hysteresis_mask],
+        )
     }
 
     /// Reads only the prediction bit (the fetch-time read on EV8).
@@ -179,7 +182,9 @@ mod tests {
     fn train_matches_plain_counter() {
         let mut t = SplitCounterTable::full(4);
         let mut c = Counter2::default();
-        let pattern = [true, true, false, true, false, false, false, true, true, true];
+        let pattern = [
+            true, true, false, true, false, false, false, true, true, true,
+        ];
         for &taken in &pattern {
             let o = Outcome::from(taken);
             t.train(3, o);

@@ -320,16 +320,35 @@ impl TwoBcGskew {
         let bim = if self.config.bim.history_length == 0 {
             pc.bits(2, self.config.bim.index_bits) as usize
         } else {
-            InfoVector::new(pc, h, self.config.bim.history_length, self.config.bim.index_bits)
-                .index(0) as usize
+            InfoVector::new(
+                pc,
+                h,
+                self.config.bim.history_length,
+                self.config.bim.index_bits,
+            )
+            .index(0) as usize
         };
-        let g0 = InfoVector::new(pc, h, self.config.g0.history_length, self.config.g0.index_bits)
-            .index(1) as usize;
-        let g1 = InfoVector::new(pc, h, self.config.g1.history_length, self.config.g1.index_bits)
-            .index(2) as usize;
-        let meta =
-            InfoVector::new(pc, h, self.config.meta.history_length, self.config.meta.index_bits)
-                .index(3) as usize;
+        let g0 = InfoVector::new(
+            pc,
+            h,
+            self.config.g0.history_length,
+            self.config.g0.index_bits,
+        )
+        .index(1) as usize;
+        let g1 = InfoVector::new(
+            pc,
+            h,
+            self.config.g1.history_length,
+            self.config.g1.index_bits,
+        )
+        .index(2) as usize;
+        let meta = InfoVector::new(
+            pc,
+            h,
+            self.config.meta.history_length,
+            self.config.meta.index_bits,
+        )
+        .index(3) as usize;
         Indices { bim, g0, g1, meta }
     }
 
@@ -784,7 +803,10 @@ mod tests {
             "partial ({pp}+{ph}) must write less than total ({tp}+{th})"
         );
         // And the prediction array specifically sees fewer flips.
-        assert!(pp <= tp, "prediction-array writes: partial {pp} vs total {tp}");
+        assert!(
+            pp <= tp,
+            "prediction-array writes: partial {pp} vs total {tp}"
+        );
     }
 
     #[test]

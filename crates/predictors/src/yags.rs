@@ -69,7 +69,10 @@ impl Yags {
     pub fn new(choice_bits: u32, cache_bits: u32, tag_bits: u32, history_length: u32) -> Self {
         assert!((1..=30).contains(&choice_bits));
         assert!((1..=30).contains(&cache_bits));
-        assert!((1..=8).contains(&tag_bits), "partial tags limited to 8 bits");
+        assert!(
+            (1..=8).contains(&tag_bits),
+            "partial tags limited to 8 bits"
+        );
         Yags {
             choice: vec![Counter2::default(); 1 << choice_bits],
             taken_cache: vec![CacheEntry::empty(); 1 << cache_bits],
@@ -237,9 +240,9 @@ mod tests {
     fn tag_mismatch_misses() {
         let mut p = Yags::new(6, 6, 6, 0);
         let pc_a = Pc::new(0b0001_0000_0100); // tag from bits 2..8
-        // Same cache index requires same low bits; craft pc_b with same
-        // index bits (2..8) impossible while differing tag (also 2..8) —
-        // so instead verify a hit requires the matching tag.
+                                              // Same cache index requires same low bits; craft pc_b with same
+                                              // index bits (2..8) impossible while differing tag (also 2..8) —
+                                              // so instead verify a hit requires the matching tag.
         let ci = p.cache_index(pc_a);
         p.not_taken_cache[ci] = CacheEntry {
             tag: p.tag(pc_a) ^ 0x1, // wrong tag

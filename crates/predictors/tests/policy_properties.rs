@@ -1,31 +1,35 @@
 //! Property-based tests of the 2Bc-gskew update policy and its
 //! supporting structures — invariants the §4.2 partial update policy must
 //! satisfy on *any* branch stream.
+//!
+//! Driven by the in-tree deterministic harness (`ev8_util::prop`);
+//! failures report an `EV8_PROP_CASE_SEED` that reproduces them.
 
-use proptest::prelude::*;
+use ev8_util::prop::{check, Gen};
+use ev8_util::{prop_assert, prop_assert_eq};
 
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig, UpdatePolicy};
 use ev8_predictors::BranchPredictor;
 use ev8_trace::{Outcome, Pc};
 
+const CASES: u64 = 64;
+
 /// An arbitrary branch stream over a small set of PCs.
-fn arb_stream() -> impl Strategy<Value = Vec<(u8, bool)>> {
-    prop::collection::vec((0u8..16, any::<bool>()), 1..400)
+fn arb_stream(g: &mut Gen) -> Vec<(u8, bool)> {
+    g.vec(1..400, |g| (g.range(0u8..16), g.bool()))
 }
 
 fn pc_of(i: u8) -> Pc {
     Pc::new(0x1000 + i as u64 * 4)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn partial_never_writes_more_than_total(stream in arb_stream()) {
+#[test]
+fn partial_never_writes_more_than_total() {
+    check("partial_never_writes_more_than_total", CASES, |g| {
+        let stream = arb_stream(g);
         let mut partial = TwoBcGskew::new(TwoBcGskewConfig::equal(8, 8));
-        let mut total = TwoBcGskew::new(
-            TwoBcGskewConfig::equal(8, 8).with_update_policy(UpdatePolicy::Total),
-        );
+        let mut total =
+            TwoBcGskew::new(TwoBcGskewConfig::equal(8, 8).with_update_policy(UpdatePolicy::Total));
         for &(pc, taken) in &stream {
             partial.update(pc_of(pc), Outcome::from(taken));
             total.update(pc_of(pc), Outcome::from(taken));
@@ -35,10 +39,14 @@ proptest! {
         // Rationales 1 and 2 exist to bound write traffic; on identical
         // streams partial update must not write more overall.
         prop_assert!(pp + ph <= tp + th, "partial {pp}+{ph} vs total {tp}+{th}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn history_register_tracks_outcomes(stream in arb_stream()) {
+#[test]
+fn history_register_tracks_outcomes() {
+    check("history_register_tracks_outcomes", CASES, |g| {
+        let stream = arb_stream(g);
         let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(8, 12));
         for &(pc, taken) in &stream {
             p.update(pc_of(pc), Outcome::from(taken));
@@ -50,10 +58,15 @@ proptest! {
             expected = (expected << 1) | taken as u64;
         }
         prop_assert_eq!(p.history().low_bits(n as u32), expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prediction_is_pure(stream in arb_stream(), probe in 0u8..16) {
+#[test]
+fn prediction_is_pure() {
+    check("prediction_is_pure", CASES, |g| {
+        let stream = arb_stream(g);
+        let probe = g.range(0u8..16);
         let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(8, 8));
         for &(pc, taken) in &stream {
             p.update(pc_of(pc), Outcome::from(taken));
@@ -66,10 +79,15 @@ proptest! {
         let d1 = p.predict_detail(pc_of(probe));
         let d2 = p.predict_detail(pc_of(probe));
         prop_assert_eq!(d1, d2);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn detail_is_consistent_with_prediction(stream in arb_stream(), probe in 0u8..16) {
+#[test]
+fn detail_is_consistent_with_prediction() {
+    check("detail_is_consistent_with_prediction", CASES, |g| {
+        let stream = arb_stream(g);
+        let probe = g.range(0u8..16);
         let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(8, 8));
         for &(pc, taken) in &stream {
             p.update(pc_of(pc), Outcome::from(taken));
@@ -79,10 +97,14 @@ proptest! {
         // The majority field really is the majority of the three banks.
         let votes = d.bim.as_bit() + d.g0.as_bit() + d.g1.as_bit();
         prop_assert_eq!(d.majority, Outcome::from(votes >= 2));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn commit_window_converges_to_same_tables(stream in arb_stream()) {
+#[test]
+fn commit_window_converges_to_same_tables() {
+    check("commit_window_converges_to_same_tables", CASES, |g| {
+        let stream = arb_stream(g);
         // After the stream ends AND the window drains (by feeding filler
         // branches), the delayed predictor has applied every update that
         // the immediate one applied within the window-shifted horizon.
@@ -101,10 +123,14 @@ proptest! {
         }
         prop_assert_eq!(imm.predict(pc_of(0)), Outcome::Taken);
         prop_assert_eq!(del.predict(pc_of(0)), Outcome::Taken);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn storage_budget_is_stream_independent(stream in arb_stream()) {
+#[test]
+fn storage_budget_is_stream_independent() {
+    check("storage_budget_is_stream_independent", CASES, |g| {
+        let stream = arb_stream(g);
         let mut p = TwoBcGskew::new(TwoBcGskewConfig::size_256k());
         let before = p.storage_bits();
         for &(pc, taken) in &stream {
@@ -112,5 +138,6 @@ proptest! {
         }
         prop_assert_eq!(p.storage_bits(), before);
         prop_assert_eq!(before, 256 * 1024);
-    }
+        Ok(())
+    });
 }

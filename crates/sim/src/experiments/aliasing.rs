@@ -81,8 +81,7 @@ pub fn report(scale: f64, workers: usize) -> ExperimentReport {
         title: "Aliasing pressure: misp/KI vs static footprint at fixed budget".into(),
         table,
         notes: vec![
-            "growing footprints raise interference; de-aliased schemes degrade more slowly"
-                .into(),
+            "growing footprints raise interference; de-aliased schemes degrade more slowly".into(),
         ],
     }
 }

@@ -59,7 +59,11 @@ pub fn report(scale: f64, workers: usize, window: usize) -> ExperimentReport {
         "stale history (for contrast)".into(),
     ]);
     for (t, (imm, commit, stale)) in traces.iter().zip(&results) {
-        let rel = if *imm > 0.0 { (commit - imm) / imm } else { 0.0 };
+        let rel = if *imm > 0.0 {
+            (commit - imm) / imm
+        } else {
+            0.0
+        };
         table.row(vec![
             t.name().to_owned(),
             format!("{imm:.3}"),
@@ -92,7 +96,11 @@ mod tests {
         for row in 0..8 {
             let imm: f64 = r.table.cell(row, 1).parse().unwrap();
             let commit: f64 = r.table.cell(row, 2).parse().unwrap();
-            let rel = if imm > 0.0 { (commit - imm).abs() / imm } else { 0.0 };
+            let rel = if imm > 0.0 {
+                (commit - imm).abs() / imm
+            } else {
+                0.0
+            };
             assert!(
                 rel < 0.2,
                 "{}: relative error {rel} too large ({imm} vs {commit})",

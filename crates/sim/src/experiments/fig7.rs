@@ -28,9 +28,7 @@ pub fn configs() -> Vec<(String, Factory)> {
         ),
         (
             "lghist, no path".into(),
-            factory(|| {
-                Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_no_path()))
-            }),
+            factory(|| Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_no_path()))),
         ),
         (
             "lghist+path".into(),
@@ -64,12 +62,10 @@ pub fn report(scale: f64, workers: usize) -> ExperimentReport {
         table.row(cells);
     }
     ExperimentReport {
-        title: "Figure 7: impact of the information vector (4x64K 2Bc-gskew, complete hash)"
-            .into(),
+        title: "Figure 7: impact of the information vector (4x64K 2Bc-gskew, complete hash)".into(),
         table,
         notes: vec![
-            "expected: lghist ~ ghist; 3-old slightly worse; EV8 vector recovers most loss"
-                .into(),
+            "expected: lghist ~ ghist; 3-old slightly worse; EV8 vector recovers most loss".into(),
         ],
     }
 }

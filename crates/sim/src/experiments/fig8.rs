@@ -74,9 +74,7 @@ pub fn report(scale: f64, workers: usize) -> ExperimentReport {
     ExperimentReport {
         title: "Figure 8: reducing table sizes (EV8 information vector)".into(),
         table,
-        notes: vec![
-            "expected: small BIM free; half hysteresis nearly free except go".into(),
-        ],
+        notes: vec!["expected: small BIM free; half hysteresis nearly free except go".into()],
     }
 }
 

@@ -40,9 +40,8 @@ fn gshare_mean(traces: &[Arc<Trace>], h: u32, workers: usize) -> f64 {
         .iter()
         .map(|t| {
             let t = Arc::clone(t);
-            Box::new(move || {
-                crate::simulator::simulate(Gshare::new(20, h), &t).misp_per_ki()
-            }) as Box<dyn FnOnce() -> f64 + Send>
+            Box::new(move || crate::simulator::simulate(Gshare::new(20, h), &t).misp_per_ki())
+                as Box<dyn FnOnce() -> f64 + Send>
         })
         .collect();
     let v = run_parallel(jobs, workers);

@@ -23,8 +23,8 @@ pub const SCALES: [f64; 5] = [0.005, 0.02, 0.08, 0.3, 1.0];
 /// Regenerates the convergence study on one benchmark. `max_scale` caps
 /// the probed scales (for fast test runs).
 pub fn report(benchmark: &str, max_scale: f64, workers: usize) -> ExperimentReport {
-    let spec = spec95::benchmark(benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark {benchmark:?}"));
+    let spec =
+        spec95::benchmark(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark:?}"));
     let scales: Vec<f64> = SCALES.iter().copied().filter(|&s| s <= max_scale).collect();
     assert!(!scales.is_empty(), "max_scale below the smallest probe");
     let jobs: Vec<Box<dyn FnOnce() -> (f64, f64) + Send>> = scales

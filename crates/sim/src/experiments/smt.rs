@@ -54,7 +54,9 @@ pub fn report(scale: f64) -> ExperimentReport {
         "+ same app".into(),
         "+ go".into(),
     ]);
-    let go = spec95::benchmark("go").expect("go exists").generate_scaled(scale);
+    let go = spec95::benchmark("go")
+        .expect("go exists")
+        .generate_scaled(scale);
     for name in ["li", "m88ksim", "vortex", "perl"] {
         let spec = spec95::benchmark(name).expect("suite benchmark");
         let full = spec.generate_scaled(2.0 * scale);

@@ -16,7 +16,7 @@
 //! * [`metrics`] — [`SimResult`] with misp/KI,
 //!   accuracy and counts.
 //! * [`sweep`] — parallel execution of simulation jobs over worker
-//!   threads (crossbeam scoped threads).
+//!   threads (`std::thread::scope`).
 //! * [`report`] — aligned text tables for experiment output.
 //! * [`experiments`] — one module per table/figure of the paper's
 //!   evaluation (Tables 1-3, Figures 5-10), each regenerating the paper's

@@ -2,13 +2,13 @@
 
 use std::fmt;
 
-use serde::Serialize;
+use ev8_util::json::{JsonObject, ToJson};
 
 /// The outcome of one predictor-over-trace simulation run.
 ///
 /// The paper's headline metric is [`SimResult::misp_per_ki`]:
 /// mispredictions per 1000 instructions.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimResult {
     /// Trace (benchmark) name.
     pub trace: String,
@@ -47,6 +47,19 @@ impl SimResult {
     }
 }
 
+impl ToJson for SimResult {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::new();
+        o.field("trace", &self.trace)
+            .field("predictor", &self.predictor)
+            .field("instructions", &self.instructions)
+            .field("conditional_branches", &self.conditional_branches)
+            .field("mispredictions", &self.mispredictions)
+            .field("misp_per_ki", &self.misp_per_ki());
+        o.finish_into(out);
+    }
+}
+
 impl fmt::Display for SimResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -78,6 +91,21 @@ mod tests {
         assert!((r.misp_per_ki() - 6.0).abs() < 1e-12);
         assert!((r.accuracy() - 0.95).abs() < 1e-12);
         assert!((r.misprediction_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_includes_derived_metric() {
+        let r = SimResult {
+            trace: "t".into(),
+            predictor: "p".into(),
+            instructions: 100_000,
+            conditional_branches: 12_000,
+            mispredictions: 600,
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"trace":"t","predictor":"p","instructions":100000,"conditional_branches":12000,"mispredictions":600,"misp_per_ki":6}"#
+        );
     }
 
     #[test]

@@ -172,7 +172,13 @@ impl ExperimentReport {
         let stem: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -201,7 +207,7 @@ mod tests {
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, 2 rows
-        // All rows the same width (trailing alignment).
+                                    // All rows the same width (trailing alignment).
         assert!(lines[2].starts_with("short"));
         assert!(lines[3].starts_with("a-much-longer-name"));
         assert_eq!(t.len(), 2);

@@ -1,11 +1,12 @@
 //! Parallel execution of simulation jobs.
 //!
 //! Experiment figures run dozens of (predictor, benchmark) simulations;
-//! this module fans them out over worker threads with crossbeam's scoped
-//! threads (results come back in job order).
+//! this module fans them out over `std::thread::scope` worker threads
+//! (results come back in job order).
 
-use crossbeam::channel;
-use crossbeam::thread;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
 
 /// Runs `jobs` on up to `workers` threads and returns the results in job
 /// order.
@@ -31,23 +32,32 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, workers: 
         return Vec::new();
     }
     let workers = workers.min(n);
-    let (job_tx, job_rx) = channel::unbounded::<(usize, Box<dyn FnOnce() -> T + Send>)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
+    let (job_tx, job_rx) = mpsc::channel::<(usize, Box<dyn FnOnce() -> T + Send>)>();
+    let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
     for j in jobs.into_iter().enumerate() {
         job_tx.send(j).expect("queue open");
     }
     drop(job_tx);
+    // `mpsc::Receiver` is single-consumer; a shared mutex turns it into the
+    // work queue the workers pull from.
+    let job_rx = Arc::new(Mutex::new(job_rx));
 
     thread::scope(|s| {
         for _ in 0..workers {
-            let job_rx = job_rx.clone();
+            let job_rx = Arc::clone(&job_rx);
             let res_tx = res_tx.clone();
-            s.spawn(move |_| {
-                while let Ok((i, job)) = job_rx.recv() {
-                    let out = job();
-                    if res_tx.send((i, out)).is_err() {
-                        return;
+            s.spawn(move || loop {
+                // Take a job while holding the lock, then release it
+                // before running the job so other workers can proceed.
+                let next = job_rx.lock().expect("job queue poisoned").recv();
+                match next {
+                    Ok((i, job)) => {
+                        let out = job();
+                        if res_tx.send((i, out)).is_err() {
+                            return;
+                        }
                     }
+                    Err(_) => return,
                 }
             });
         }
@@ -58,10 +68,9 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, workers: 
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every job completed"))
+            .map(|s| s.expect("worker panicked"))
             .collect()
     })
-    .expect("worker panicked")
 }
 
 /// A sensible default worker count: the number of available CPUs, at
@@ -104,8 +113,7 @@ mod tests {
 
     #[test]
     fn single_worker_works() {
-        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> =
-            vec![Box::new(|| 7), Box::new(|| 9)];
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 7), Box::new(|| 9)];
         assert_eq!(run_parallel(jobs, 1), vec![7, 9]);
     }
 

@@ -115,7 +115,11 @@ mod tests {
         let mut b = TraceBuilder::new("t");
         b.run(5);
         b.run(2);
-        b.branch(BranchRecord::conditional(Pc::new(0x100), Pc::new(0x80), true));
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x100),
+            Pc::new(0x80),
+            true,
+        ));
         let t = b.finish();
         assert_eq!(t.records()[0].gap, 7);
         assert_eq!(t.instruction_count(), 8);
@@ -133,7 +137,11 @@ mod tests {
     #[test]
     fn trailing_run_is_dropped() {
         let mut b = TraceBuilder::new("t");
-        b.branch(BranchRecord::conditional(Pc::new(0x100), Pc::new(0x80), false));
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x100),
+            Pc::new(0x80),
+            false,
+        ));
         b.run(100);
         let t = b.finish();
         assert_eq!(t.instruction_count(), 1);
@@ -155,7 +163,8 @@ mod tests {
         let mut expected = Vec::new();
         for i in 0..20u64 {
             b.run(i % 4);
-            let rec = BranchRecord::conditional(Pc::new(0x1000 + 8 * i), Pc::new(0x1000), i % 2 == 0);
+            let rec =
+                BranchRecord::conditional(Pc::new(0x1000 + 8 * i), Pc::new(0x1000), i % 2 == 0);
             b.branch(rec);
             expected.push(rec.with_gap((i % 4) as u32));
         }

@@ -35,7 +35,7 @@
 
 use std::io::{Read, Write};
 
-use bytes::{Buf, BufMut, BytesMut};
+use ev8_util::bytebuf::ByteBuf;
 
 use crate::error::TraceError;
 use crate::trace::Trace;
@@ -79,7 +79,7 @@ fn zigzag_decode(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut ByteBuf, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -118,7 +118,7 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
 ///
 /// Returns [`TraceError::Io`] when the underlying writer fails.
 pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
-    let mut buf = BytesMut::with_capacity(64 + trace.len() * 6);
+    let mut buf = ByteBuf::with_capacity(64 + trace.len() * 6);
     buf.put_slice(&MAGIC);
     buf.put_u16_le(VERSION);
     let name = trace.name().as_bytes();
@@ -166,7 +166,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     }
     let mut ver = [0u8; 2];
     r.read_exact(&mut ver)?;
-    let version = (&ver[..]).get_u16_le();
+    let version = u16::from_le_bytes(ver);
     if version != VERSION {
         return Err(TraceError::UnsupportedVersion { found: version });
     }
@@ -324,7 +324,17 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789, -987654321] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX,
+            i64::MIN,
+            123456789,
+            -987654321,
+        ] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
     }
@@ -332,7 +342,7 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = ByteBuf::new();
             put_varint(&mut buf, v);
             let got = read_varint(&mut buf.as_ref()).unwrap();
             assert_eq!(got, v);

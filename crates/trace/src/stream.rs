@@ -7,7 +7,7 @@
 
 use std::io::{Read, Write};
 
-use bytes::{Buf, BufMut, BytesMut};
+use ev8_util::bytebuf::ByteBuf;
 
 use crate::codec::{MAGIC, VERSION};
 use crate::error::TraceError;
@@ -45,7 +45,7 @@ fn zigzag_decode(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut ByteBuf, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -105,7 +105,7 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
 /// ```
 pub struct TraceWriter<W: Write> {
     inner: W,
-    buf: BytesMut,
+    buf: ByteBuf,
     prev_next: Pc,
     written: u64,
 }
@@ -117,7 +117,7 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Returns [`TraceError::Io`] when the writer fails.
     pub fn new(mut inner: W, name: &str) -> Result<Self, TraceError> {
-        let mut buf = BytesMut::with_capacity(64 + name.len());
+        let mut buf = ByteBuf::with_capacity(64 + name.len());
         buf.put_slice(&MAGIC);
         buf.put_u16_le(VERSION);
         put_varint(&mut buf, name.len() as u64);
@@ -206,7 +206,7 @@ impl<R: Read> TraceReader<R> {
         }
         let mut ver = [0u8; 2];
         inner.read_exact(&mut ver)?;
-        let version = (&ver[..]).get_u16_le();
+        let version = u16::from_le_bytes(ver);
         if version != VERSION {
             return Err(TraceError::UnsupportedVersion { found: version });
         }
@@ -428,7 +428,10 @@ mod tests {
     #[test]
     fn empty_stream_yields_nothing() {
         let mut buf = Vec::new();
-        TraceWriter::new(&mut buf, "empty").unwrap().finish().unwrap();
+        TraceWriter::new(&mut buf, "empty")
+            .unwrap()
+            .finish()
+            .unwrap();
         let reader = TraceReader::new(buf.as_slice()).unwrap();
         assert_eq!(reader.count(), 0);
     }

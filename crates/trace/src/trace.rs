@@ -3,7 +3,7 @@
 use std::fmt;
 use std::slice;
 
-use serde::{Deserialize, Serialize};
+use ev8_util::json::{JsonObject, ToJson};
 
 use crate::types::{BranchKind, BranchRecord};
 
@@ -31,7 +31,7 @@ use crate::types::{BranchKind, BranchRecord};
 /// assert_eq!(t.instruction_count(), 10);
 /// assert_eq!(t.conditional_count(), 1);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Trace {
     name: String,
     records: Vec<BranchRecord>,
@@ -144,6 +144,16 @@ impl Trace {
     }
 }
 
+impl ToJson for Trace {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::new();
+        o.field("name", &self.name)
+            .field("instruction_count", &self.instruction_count)
+            .field("records", &self.records);
+        o.finish_into(out);
+    }
+}
+
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -198,6 +208,24 @@ mod tests {
                 .with_gap(3),
         ];
         Trace::from_parts("sample", records, 11)
+    }
+
+    #[test]
+    fn json_form_is_stable() {
+        let t = Trace::from_parts(
+            "j",
+            vec![BranchRecord::conditional(Pc::new(0x10), Pc::new(0x20), true).with_gap(1)],
+            2,
+        );
+        assert_eq!(
+            t.to_json(),
+            r#"{"name":"j","instruction_count":2,"records":[{"pc":16,"target":32,"kind":"cond","taken":true,"gap":1}]}"#
+        );
+        let empty = Trace::default();
+        assert_eq!(
+            empty.to_json(),
+            r#"{"name":"","instruction_count":0,"records":[]}"#
+        );
     }
 
     #[test]

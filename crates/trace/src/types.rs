@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use ev8_util::json::{JsonObject, ToJson};
 
 /// A program counter (instruction address).
 ///
@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(pc.bit(4), (0x1234_5670u64 >> 4) & 1);
 /// assert_eq!(pc.next().as_u64(), 0x1234_5674);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(u64);
 
 impl Pc {
@@ -148,7 +148,7 @@ impl fmt::UpperHex for Pc {
 /// assert_eq!(Outcome::from(false), Outcome::NotTaken);
 /// assert_eq!(Outcome::Taken.as_bit(), 1);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Outcome {
     /// The branch was not taken (fell through).
     NotTaken,
@@ -216,7 +216,7 @@ impl fmt::Display for Outcome {
 /// returns pop it, indirect jumps use the jump predictor. Only
 /// [`BranchKind::Conditional`] records are predicted by the predictors in
 /// this workspace; the rest shape fetch-block formation and path history.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BranchKind {
     /// A conditional direct branch.
     Conditional,
@@ -275,7 +275,7 @@ impl fmt::Display for BranchKind {
 /// carry exact instruction counts (for the paper's misp/KI metric) and lets
 /// the EV8 front-end model reconstruct fetch blocks without storing every
 /// instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct BranchRecord {
     /// Address of the branch instruction itself.
     pub pc: Pc,
@@ -346,6 +346,36 @@ impl BranchRecord {
         } else {
             self.pc.next()
         }
+    }
+}
+
+impl ToJson for Pc {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+impl ToJson for Outcome {
+    fn write_json(&self, out: &mut String) {
+        self.is_taken().write_json(out);
+    }
+}
+
+impl ToJson for BranchKind {
+    fn write_json(&self, out: &mut String) {
+        self.to_string().write_json(out);
+    }
+}
+
+impl ToJson for BranchRecord {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::new();
+        o.field("pc", &self.pc)
+            .field("target", &self.target)
+            .field("kind", &self.kind)
+            .field("taken", &self.outcome)
+            .field("gap", &self.gap);
+        o.finish_into(out);
     }
 }
 

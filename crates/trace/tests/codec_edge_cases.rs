@@ -1,0 +1,112 @@
+//! Round-trip edge cases for the binary trace codec: empty traces,
+//! limit-length names, saturated gaps and extreme PC deltas — the inputs
+//! most likely to break a varint/zigzag format.
+
+use ev8_trace::codec::{read_trace, write_trace};
+use ev8_trace::{BranchKind, BranchRecord, Pc, Trace, TraceBuilder, TraceError};
+
+fn roundtrip(t: &Trace) -> Trace {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, t).expect("encode");
+    read_trace(buf.as_slice()).expect("decode")
+}
+
+#[test]
+fn empty_trace_with_empty_name() {
+    let t = TraceBuilder::new("").finish();
+    let back = roundtrip(&t);
+    assert_eq!(back, t);
+    assert_eq!(back.name(), "");
+    assert!(back.is_empty());
+    assert_eq!(back.instruction_count(), 0);
+}
+
+#[test]
+fn trailing_run_drop_survives_roundtrip() {
+    // A still-pending straight-line run with no following branch is
+    // dropped by the builder (it cannot influence prediction), so an
+    // all-run trace round-trips as a genuinely empty one.
+    let mut b = TraceBuilder::new("tail-run");
+    b.run(12_345);
+    let t = b.finish();
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.instruction_count(), 0);
+    assert_eq!(roundtrip(&t), t);
+}
+
+#[test]
+fn name_at_length_limit_roundtrips() {
+    // The reader rejects names above 64 KiB; exactly 64 KiB must pass.
+    let name = "n".repeat(1 << 16);
+    let t = TraceBuilder::new(name.clone()).finish();
+    assert_eq!(roundtrip(&t).name(), name);
+}
+
+#[test]
+fn name_above_length_limit_rejected() {
+    let t = TraceBuilder::new("x".repeat((1 << 16) + 1)).finish();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &t).expect("encode");
+    match read_trace(buf.as_slice()) {
+        Err(TraceError::Corrupt { what, .. }) => assert!(what.contains("name")),
+        other => panic!("oversized name must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn unicode_name_roundtrips() {
+    let t = TraceBuilder::new("go-go-go — 囲碁 ♟").finish();
+    assert_eq!(roundtrip(&t).name(), "go-go-go — 囲碁 ♟");
+}
+
+#[test]
+fn max_gap_roundtrips() {
+    // gap is stored as a varint and reloaded through u32::try_from;
+    // u32::MAX is the largest legal run length between branches.
+    let mut b = TraceBuilder::new("max-gap");
+    b.branch(BranchRecord::conditional(Pc::new(0x1000), Pc::new(0x2000), true).with_gap(u32::MAX));
+    let t = b.finish();
+    let back = roundtrip(&t);
+    assert_eq!(back, t);
+    assert_eq!(back.records()[0].gap, u32::MAX);
+    assert_eq!(back.instruction_count(), 1 + u32::MAX as u64);
+}
+
+#[test]
+fn extreme_pc_deltas_roundtrip() {
+    // PC deltas are zigzag-encoded i64s; exercise a huge forward jump, a
+    // huge backward jump and branches in the top half of the address
+    // space, where the u64 -> i64 delta arithmetic wraps.
+    let hi = 0x7FFF_FFFF_FFFF_FFE0u64;
+    let mut b = TraceBuilder::new("extremes");
+    b.branch(BranchRecord::conditional(Pc::new(4), Pc::new(hi), true));
+    b.branch(BranchRecord::always_taken(
+        Pc::new(hi),
+        Pc::new(8),
+        BranchKind::Unconditional,
+    ));
+    b.branch(BranchRecord::conditional(
+        Pc::new(8),
+        Pc::new(0xFFFF_FFFF_FFFF_FF00),
+        true,
+    ));
+    b.branch(
+        BranchRecord::conditional(Pc::new(0xFFFF_FFFF_FFFF_FF00), Pc::new(16), false).with_gap(7),
+    );
+    let t = b.finish();
+    assert_eq!(roundtrip(&t), t);
+}
+
+#[test]
+fn single_record_trace_roundtrips() {
+    let mut b = TraceBuilder::new("one");
+    b.branch(BranchRecord::always_taken(
+        Pc::new(0),
+        Pc::new(0),
+        BranchKind::Return,
+    ));
+    let t = b.finish();
+    let back = roundtrip(&t);
+    assert_eq!(back, t);
+    assert_eq!(back.len(), 1);
+}

@@ -1,0 +1,304 @@
+//! A lightweight `std::time::Instant`-based benchmark harness.
+//!
+//! Replaces `criterion` for the workspace's `harness = false` bench
+//! targets. The measurement model is simple and honest: per benchmark,
+//! one warm-up call, then `sample_size` timed samples (each sample runs
+//! the closure enough times to cover a minimum measurable span), and the
+//! report shows the median and minimum per-iteration time plus element
+//! throughput when declared.
+//!
+//! # Example (a `benches/foo.rs` with `harness = false`)
+//!
+//! ```no_run
+//! use ev8_util::bench::Harness;
+//!
+//! fn main() {
+//!     let mut h = Harness::from_env();
+//!     let mut g = h.group("sums");
+//!     g.throughput(1_000);
+//!     g.bench("sum_1k", |b| {
+//!         b.iter(|| (0..1_000u64).sum::<u64>())
+//!     });
+//!     g.finish();
+//! }
+//! ```
+//!
+//! `cargo bench` runs offline; `EV8_BENCH_SAMPLES` overrides the sample
+//! count (e.g. `EV8_BENCH_SAMPLES=3` for a quick smoke run), and a
+//! positional command-line argument filters benchmarks by substring of
+//! `group/name`.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: keeps a computed value alive so
+/// the optimizer cannot delete the benchmarked work.
+pub fn black_box<T>(v: T) -> T {
+    hint_black_box(v)
+}
+
+/// Minimum time span one sample should cover; closures faster than this
+/// are batched until a sample is measurable.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+/// The top-level bench harness: parses the CLI filter and prints the
+/// session header/footer.
+pub struct Harness {
+    filter: Option<String>,
+    sample_size: usize,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from command-line arguments and environment.
+    ///
+    /// Flags injected by `cargo bench` (`--bench`, `--nocapture`, ...)
+    /// are ignored; the first non-flag argument is a substring filter on
+    /// `group/name`. `EV8_BENCH_SAMPLES` sets the per-benchmark sample
+    /// count (default 10).
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let sample_size = std::env::var("EV8_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(10);
+        Harness {
+            filter,
+            sample_size,
+            ran: 0,
+        }
+    }
+
+    /// A harness with an explicit filter and sample count (for tests).
+    pub fn with_config(filter: Option<String>, sample_size: usize) -> Self {
+        Harness {
+            filter,
+            sample_size: sample_size.max(1),
+            ran: 0,
+        }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_owned(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Number of benchmarks actually run (after filtering).
+    pub fn ran(&self) -> usize {
+        self.ran
+    }
+}
+
+/// A group of related benchmarks sharing a throughput declaration.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    throughput: Option<u64>,
+    sample_size: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Declares how many logical elements one iteration processes, so the
+    /// report can show elements/second.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Overrides the harness sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark (unless filtered out) and prints its line.
+    pub fn bench(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.harness.sample_size),
+            result: None,
+        };
+        f(&mut b);
+        self.harness.ran += 1;
+        match b.result {
+            Some(m) => println!("{}", m.report_line(&full, self.throughput)),
+            None => println!("{full:<44} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Ends the group (purely cosmetic; prints nothing today).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+/// A completed measurement: per-iteration times across samples.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time observed.
+    pub min: Duration,
+    /// Iterations batched into each sample.
+    pub batch: u32,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Measurement {
+    fn report_line(&self, name: &str, throughput: Option<u64>) -> String {
+        let mut line = format!(
+            "{name:<44} {:>12}/iter  (min {:>12}, {} samples x {} iters)",
+            fmt_duration(self.median),
+            fmt_duration(self.min),
+            self.samples,
+            self.batch,
+        );
+        if let Some(elements) = throughput {
+            let secs = self.median.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!("  {:>12}", fmt_rate(elements as f64 / secs)));
+            }
+        }
+        line
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} Kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} elem/s")
+    }
+}
+
+impl Bencher {
+    /// Measures the closure: one warm-up call (also used to size the
+    /// per-sample batch), then `sample_size` timed samples.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up + batch sizing.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch: u32 = if once >= MIN_SAMPLE {
+            1
+        } else {
+            (MIN_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u32
+        };
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed() / batch);
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        self.result = Some(Measurement {
+            median,
+            min,
+            batch,
+            samples: self.sample_size,
+        });
+    }
+
+    /// The measurement, once [`Bencher::iter`] has run.
+    pub fn measurement(&self) -> Option<&Measurement> {
+        self.result.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut h = Harness::with_config(None, 3);
+        let mut ran_inner = false;
+        {
+            let mut g = h.group("g");
+            g.throughput(100);
+            g.bench("busy", |b| {
+                b.iter(|| {
+                    ran_inner = true;
+                    (0..1000u64).map(black_box).sum::<u64>()
+                });
+                let m = b.measurement().expect("measured");
+                assert!(m.median >= m.min);
+                assert!(m.batch >= 1);
+                assert_eq!(m.samples, 3);
+            });
+            g.finish();
+        }
+        assert!(ran_inner);
+        assert_eq!(h.ran(), 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut h = Harness::with_config(Some("match-me".into()), 2);
+        {
+            let mut g = h.group("grp");
+            g.bench("other", |_| panic!("must be filtered out"));
+            g.bench("match-me-exactly", |b| b.iter(|| 1u32 + 1));
+        }
+        assert_eq!(h.ran(), 1);
+    }
+
+    #[test]
+    fn slow_closures_get_batch_of_one() {
+        let mut h = Harness::with_config(None, 2);
+        let mut g = h.group("slow");
+        g.bench("sleepy", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_millis(3)));
+            assert_eq!(b.measurement().unwrap().batch, 1);
+        });
+    }
+
+    #[test]
+    fn duration_and_rate_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_rate(5e9).ends_with("Gelem/s"));
+        assert!(fmt_rate(5e6).ends_with("Melem/s"));
+        assert!(fmt_rate(5e3).ends_with("Kelem/s"));
+        assert!(fmt_rate(5.0).ends_with("elem/s"));
+    }
+}

@@ -1,0 +1,455 @@
+//! A deterministic property-testing mini-harness.
+//!
+//! Replaces `proptest` for the workspace's four property suites with the
+//! three features that actually matter for branch-predictor invariants:
+//!
+//! 1. **Seeded case generation** — every case is produced by a [`Gen`]
+//!    whose xoshiro256\*\* stream derives from `(base seed, case index)`.
+//!    The base seed is a fixed constant, so two consecutive `cargo test`
+//!    runs exercise *identical* inputs; set `EV8_PROP_SEED` to explore a
+//!    different corner of the input space.
+//! 2. **Shrinking-lite** — on failure the harness re-runs the failing
+//!    case seed at progressively smaller size scales (collections drawn
+//!    through [`Gen::vec`]/[`Gen::len`] shrink proportionally) and
+//!    reports the smallest scale that still fails.
+//! 3. **Failure-seed reporting** — the panic message contains the exact
+//!    `EV8_PROP_CASE_SEED` / `EV8_PROP_SCALE` pair that reproduces the
+//!    minimal counterexample in isolation.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use ev8_util::prop::{check, Gen};
+//! use ev8_util::{prop_assert, prop_assert_eq};
+//!
+//! fn reverse_is_involutive(g: &mut Gen) -> Result<(), String> {
+//!     let xs = g.vec(0..50, |g| g.u32());
+//!     let mut twice = xs.clone();
+//!     twice.reverse();
+//!     twice.reverse();
+//!     prop_assert_eq!(&twice, &xs);
+//!     prop_assert!(twice.len() == xs.len(), "length changed: {}", twice.len());
+//!     Ok(())
+//! }
+//!
+//! check("reverse_is_involutive", 64, reverse_is_involutive);
+//! ```
+//!
+//! # Reproducing a reported failure
+//!
+//! A failure panic looks like:
+//!
+//! ```text
+//! property 'partial_never_writes_more_than_total' failed (case 17 of 64)
+//!   case seed: 0x9a4b...  scale: 0.25
+//!   error: partial 31+9 vs total 30+9
+//! reproduce: EV8_PROP_CASE_SEED=0x9a4b... EV8_PROP_SCALE=0.25 cargo test <test name>
+//! ```
+//!
+//! Running the suite with those two environment variables set re-executes
+//! exactly that one (shrunken) case.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{mix, DefaultRng, Rng, SampleRange};
+
+/// The fixed base seed: deterministic across runs unless overridden via
+/// `EV8_PROP_SEED`.
+pub const DEFAULT_BASE_SEED: u64 = 0xE58_BAD5_EED0_0001;
+
+/// The size scales tried while shrinking, largest first.
+const SHRINK_SCALES: &[f64] = &[0.5, 0.25, 0.1, 0.05, 0.02];
+
+/// A seeded case generator: a deterministic RNG plus the current size
+/// scale used by shrinking.
+pub struct Gen {
+    rng: DefaultRng,
+    scale: f64,
+}
+
+impl Gen {
+    /// A generator for one case seed at the given size scale (1.0 = full
+    /// size).
+    pub fn new(case_seed: u64, scale: f64) -> Self {
+        Gen {
+            rng: DefaultRng::seed_from_u64(case_seed),
+            scale: scale.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The current shrink scale in `(0, 1]`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// An arbitrary `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// An arbitrary `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// An arbitrary `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    /// An arbitrary `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// An arbitrary `u128`.
+    pub fn u128(&mut self) -> u128 {
+        ((self.rng.next_u64() as u128) << 64) | self.rng.next_u64() as u128
+    }
+
+    /// A fair boolean.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// A uniform draw from `range` (integers or floats, half-open or
+    /// inclusive). Not affected by the shrink scale — use it for
+    /// *parameters*; use [`Gen::len`]/[`Gen::vec`] for *sizes*.
+    pub fn range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// One element of a fixed choice set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn choose<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
+        assert!(!choices.is_empty(), "choose from an empty slice");
+        &choices[self.range(0..choices.len())]
+    }
+
+    /// A collection length drawn from `lo..hi`, scaled down while
+    /// shrinking (never below `lo`, and at least 1 when `lo == 0` would
+    /// make the scaled span empty with `hi > 1`).
+    pub fn len(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty length range");
+        let span = range.end - range.start - 1;
+        let scaled = ((span as f64) * self.scale).ceil() as usize;
+        if scaled == 0 {
+            range.start
+        } else {
+            self.range(range.start..=range.start + scaled)
+        }
+    }
+
+    /// A vector whose length is drawn from `len_range` (scaled while
+    /// shrinking) and whose elements come from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len_range: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.len(len_range);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn base_seed() -> u64 {
+    std::env::var("EV8_PROP_SEED")
+        .ok()
+        .and_then(|s| parse_u64(&s))
+        .unwrap_or(DEFAULT_BASE_SEED)
+}
+
+/// The seed of case `index` under `base`: statistically independent
+/// across both arguments.
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    mix(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs one property case, converting panics inside `f` into `Err`.
+fn run_case(
+    f: &(impl Fn(&mut Gen) -> Result<(), String> + std::panic::RefUnwindSafe),
+    seed: u64,
+    scale: f64,
+) -> Result<(), String> {
+    let mut g = Gen::new(seed, scale);
+    match catch_unwind(AssertUnwindSafe(|| f(&mut g))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_owned());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Checks `property` over `cases` deterministically generated inputs.
+///
+/// On failure, shrinks (by size scale), then panics with the case seed,
+/// scale and error of the smallest failing case, plus the environment
+/// variables that reproduce it.
+///
+/// Set `EV8_PROP_CASE_SEED` (and optionally `EV8_PROP_SCALE`) to run
+/// exactly one reported case instead of the whole sweep.
+///
+/// # Panics
+///
+/// Panics iff the property fails (that is the test-failure mechanism).
+pub fn check(
+    name: &str,
+    cases: u64,
+    property: impl Fn(&mut Gen) -> Result<(), String> + std::panic::RefUnwindSafe,
+) {
+    // Reproduction mode: exactly one pinned case.
+    if let Some(seed) = std::env::var("EV8_PROP_CASE_SEED")
+        .ok()
+        .and_then(|s| parse_u64(&s))
+    {
+        let scale = std::env::var("EV8_PROP_SCALE")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .unwrap_or(1.0);
+        if let Err(e) = run_case(&property, seed, scale) {
+            panic!(
+                "property '{name}' failed on pinned case\n  \
+                 case seed: {seed:#018x}  scale: {scale}\n  error: {e}"
+            );
+        }
+        return;
+    }
+
+    let base = base_seed();
+    for i in 0..cases {
+        let seed = case_seed(base, i);
+        let Err(first_error) = run_case(&property, seed, 1.0) else {
+            continue;
+        };
+
+        // Shrinking-lite: same seed, smaller size scales; keep the
+        // smallest scale that still fails.
+        let mut best_scale = 1.0;
+        let mut best_error = first_error;
+        for &scale in SHRINK_SCALES.iter().rev() {
+            // Try smallest first; the first (smallest) failing scale wins.
+            if let Err(e) = run_case(&property, seed, scale) {
+                best_scale = scale;
+                best_error = e;
+                break;
+            }
+        }
+
+        panic!(
+            "property '{name}' failed (case {i} of {cases})\n  \
+             case seed: {seed:#018x}  scale: {best_scale}\n  \
+             error: {best_error}\n\
+             reproduce: EV8_PROP_CASE_SEED={seed:#x} EV8_PROP_SCALE={best_scale} cargo test {name}"
+        );
+    }
+}
+
+/// Asserts a condition inside a property, returning `Err` (not panicking)
+/// so the harness can shrink and report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        // Count cases via an external cell; the closure must stay Fn.
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        check("always_passes", 32, |g| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let _ = g.u64();
+            Ok(())
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        let draw = |i: u64| {
+            let mut g = Gen::new(case_seed(DEFAULT_BASE_SEED, i), 1.0);
+            (g.u64(), g.vec(0..20, |g| g.u8()))
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3).0, draw(4).0);
+    }
+
+    #[test]
+    fn failure_reports_seed_and_reproduces() {
+        let failing = |g: &mut Gen| -> Result<(), String> {
+            let v = g.vec(0..100, |g| g.u32());
+            prop_assert!(v.len() < 40, "vector too long: {}", v.len());
+            Ok(())
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| check("long_vec", 64, failing)));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => *p.downcast::<String>().expect("string panic payload"),
+        };
+        assert!(msg.contains("case seed: 0x"), "{msg}");
+        assert!(msg.contains("EV8_PROP_CASE_SEED="), "{msg}");
+        assert!(msg.contains("vector too long"), "{msg}");
+
+        // The reported seed must actually reproduce the failure at the
+        // reported scale.
+        let seed_hex = msg
+            .split("case seed: ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .expect("seed in message");
+        let scale: f64 = msg
+            .split("scale: ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("scale in message");
+        let seed = parse_u64(seed_hex).expect("seed parses");
+        assert!(
+            run_case(&failing, seed, scale).is_err(),
+            "seed must reproduce"
+        );
+    }
+
+    #[test]
+    fn shrinking_reduces_scale_when_possible() {
+        // Fails whenever the drawn vector is non-tiny; small scales pass,
+        // so the reported scale must be < 1.0... actually the smallest
+        // failing scale. Here anything above ~8 elements fails, so scale
+        // 0.02 (max len 2 of 0..100) passes and shrink settles above it.
+        let failing = |g: &mut Gen| -> Result<(), String> {
+            let v = g.vec(0..100, |g| g.u8());
+            prop_assert!(v.len() <= 8, "len {}", v.len());
+            Ok(())
+        };
+        let msg = match catch_unwind(AssertUnwindSafe(|| check("shrink", 64, failing))) {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => *p.downcast::<String>().expect("string payload"),
+        };
+        let scale: f64 = msg
+            .split("scale: ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("scale in message");
+        assert!(scale < 1.0, "expected shrinking to engage: {msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_reported_with_seed() {
+        let msg = match catch_unwind(AssertUnwindSafe(|| {
+            check("panicky", 8, |g| {
+                let v = g.range(0u32..10);
+                assert!(v < 100, "impossible");
+                if v < 100 {
+                    // Always panics via an inner assert on some case.
+                    assert_eq!(v, 12345, "inner panic");
+                }
+                Ok(())
+            })
+        })) {
+            Ok(()) => panic!("should have failed"),
+            Err(p) => *p.downcast::<String>().expect("string payload"),
+        };
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+    }
+
+    #[test]
+    fn scaled_lengths_respect_bounds() {
+        for &scale in &[1.0, 0.5, 0.1, 0.02] {
+            let mut g = Gen::new(99, scale);
+            for _ in 0..200 {
+                let n = g.len(5..50);
+                assert!((5..50).contains(&n), "scale {scale}: len {n}");
+            }
+            let mut g = Gen::new(7, scale);
+            let n = g.len(1..2);
+            assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
+    fn parse_u64_accepts_hex_and_decimal() {
+        assert_eq!(parse_u64("0x10"), Some(16));
+        assert_eq!(parse_u64("0X10"), Some(16));
+        assert_eq!(parse_u64("42"), Some(42));
+        assert_eq!(parse_u64(" 7 "), Some(7));
+        assert_eq!(parse_u64("zzz"), None);
+    }
+}

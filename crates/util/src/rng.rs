@@ -1,0 +1,369 @@
+//! Seeded, deterministic random number generation.
+//!
+//! Two classic generators, both tiny and portable:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Flood's 64-bit mixer. Used for seeding
+//!   and for deriving independent case seeds in the property harness.
+//! * [`Xoshiro256StarStar`] — Blackman/Vigna's xoshiro256\*\*, the
+//!   workspace's general-purpose generator ([`DefaultRng`]).
+//!
+//! The [`Rng`] trait mirrors the small slice of the `rand` API the
+//! workspace actually uses: raw 64-bit draws, uniform floats, biased
+//! booleans and uniform integer/float ranges. All draws are pure
+//! functions of the seed, so any trace, workload or property-test case is
+//! reproducible from a single `u64`.
+//!
+//! # Example
+//!
+//! ```
+//! use ev8_util::rng::{DefaultRng, Rng};
+//!
+//! let mut a = DefaultRng::seed_from_u64(42);
+//! let mut b = DefaultRng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_range(10u32..20);
+//! assert!((10..20).contains(&x));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace's default generator (xoshiro256\*\*).
+pub type DefaultRng = Xoshiro256StarStar;
+
+/// SplitMix64: a fast 64-bit mixing generator.
+///
+/// Primarily a seeder (it equidistributes any 64-bit seed into full
+/// 64-bit states) and a cheap way to derive independent streams.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+}
+
+/// The SplitMix64 finalizer: a strong 64-bit mix of its input.
+///
+/// Useful on its own for deriving statistically independent seeds from
+/// structured inputs (e.g. `mix(base_seed ^ case_index)`).
+pub const fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256\*\*: Blackman/Vigna's all-purpose 256-bit-state generator.
+///
+/// Passes BigCrush; not cryptographic (nothing here needs to be).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64, as the
+    /// xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256StarStar::next_u64(self)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// The minimal random-draw interface the workspace uses.
+///
+/// Everything derives from [`Rng::next_u64`]; the provided methods give
+/// uniform floats in `[0, 1)`, biased booleans, and uniform ranges.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Still consume a draw so the stream advances uniformly.
+            self.next_u64();
+            return true;
+        }
+        if p <= 0.0 {
+            self.next_u64();
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from `range` (half-open or inclusive integer
+    /// ranges, half-open float ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty ranges.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform draw in `[0, bound)` via Lemire's widening-multiply
+/// rejection method. `bound == 0` means the full 64-bit range.
+fn uniform_below(rng: &mut (impl Rng + ?Sized), bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let low = m as u64;
+        if low >= bound && low < bound.wrapping_neg() {
+            return (m >> 64) as u64;
+        }
+        // Exact acceptance test (rarely reached).
+        let threshold = bound.wrapping_neg() % bound;
+        if low >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                // span == 0 encodes the full 64-bit domain.
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(uniform_below(rng, span) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                (lo as i64).wrapping_add(uniform_below(rng, span.wrapping_add(1)) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "empty or non-finite range in gen_range"
+        );
+        let u = rng.gen_f64();
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "empty or non-finite range in gen_range"
+        );
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vectors() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_distinct_seeds() {
+        let mut a = DefaultRng::seed_from_u64(7);
+        let mut b = DefaultRng::seed_from_u64(7);
+        let mut c = DefaultRng::seed_from_u64(8);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let cv: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DefaultRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = DefaultRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_bias_respected() {
+        let mut r = DefaultRng::seed_from_u64(5);
+        let hits = (0..50_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 50_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(2.0));
+        assert!(!r.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut r = DefaultRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 reached");
+        for _ in 0..1000 {
+            let v = r.gen_range(5u32..=7);
+            assert!((5..=7).contains(&v));
+            let s = r.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut r = DefaultRng::seed_from_u64(13);
+        // span wraps to 0 -> full 64-bit domain; must not panic or loop.
+        let v = r.gen_range(0u64..=u64::MAX);
+        let _ = v;
+        let w = r.gen_range(u8::MIN..=u8::MAX);
+        let _ = w;
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = DefaultRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let x = r.gen_range(2.5f64..3.5);
+            assert!((2.5..3.5).contains(&x), "{x}");
+            let y = r.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        DefaultRng::seed_from_u64(1).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn uniform_below_is_roughly_uniform() {
+        let mut r = DefaultRng::seed_from_u64(23);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[uniform_below(&mut r, 7) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "bucket {i} count {c} far from uniform"
+            );
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! * [`Behavior::Random`] — inherently unpredictable (data-dependent), the
 //!   "hard branches" the paper's conclusion worries about.
 
-use rand::Rng;
+use ev8_util::rng::Rng;
 
 /// The behaviour archetype of one static conditional branch.
 #[derive(Clone, Debug, PartialEq)]
@@ -144,7 +144,9 @@ impl Behavior {
         match self {
             Behavior::Biased { taken_probability } => {
                 if !(0.0..=1.0).contains(taken_probability) {
-                    return Err(format!("taken_probability {taken_probability} not in [0,1]"));
+                    return Err(format!(
+                        "taken_probability {taken_probability} not in [0,1]"
+                    ));
                 }
             }
             Behavior::Loop { trip_count } => {
@@ -178,11 +180,10 @@ impl Behavior {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ev8_util::rng::DefaultRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> DefaultRng {
+        DefaultRng::seed_from_u64(42)
     }
 
     #[test]
@@ -204,7 +205,9 @@ mod tests {
         let b = Behavior::Loop { trip_count: 4 };
         let mut st = BehaviorState::default();
         let mut r = rng();
-        let outcomes: Vec<bool> = (0..12).map(|_| b.next_outcome(&mut st, 0, 0, &mut r)).collect();
+        let outcomes: Vec<bool> = (0..12)
+            .map(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .collect();
         assert_eq!(
             outcomes,
             vec![true, true, true, false, true, true, true, false, true, true, true, false]
@@ -226,7 +229,9 @@ mod tests {
         };
         let mut st = BehaviorState::default();
         let mut r = rng();
-        let outcomes: Vec<bool> = (0..6).map(|_| b.next_outcome(&mut st, 0, 0, &mut r)).collect();
+        let outcomes: Vec<bool> = (0..6)
+            .map(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .collect();
         assert_eq!(outcomes, vec![true, false, false, true, false, false]);
     }
 
@@ -286,24 +291,45 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_parameters() {
-        assert!(Behavior::Biased { taken_probability: 1.5 }.validate().is_err());
+        assert!(Behavior::Biased {
+            taken_probability: 1.5
+        }
+        .validate()
+        .is_err());
         assert!(Behavior::Loop { trip_count: 0 }.validate().is_err());
-        assert!(Behavior::LocalPattern { pattern: vec![] }.validate().is_err());
-        assert!(Behavior::GlobalCorrelated { offsets: vec![], noise: 0.0 }
+        assert!(Behavior::LocalPattern { pattern: vec![] }
             .validate()
             .is_err());
-        assert!(Behavior::GlobalCorrelated { offsets: vec![64], noise: 0.0 }
-            .validate()
-            .is_err());
-        assert!(Behavior::GlobalCorrelated { offsets: vec![3], noise: 2.0 }
-            .validate()
-            .is_err());
-        assert!(Behavior::PathCorrelated { offsets: vec![], noise: 0.0 }
-            .validate()
-            .is_err());
-        assert!(Behavior::PathCorrelated { offsets: vec![2], noise: 0.01 }
-            .validate()
-            .is_ok());
+        assert!(Behavior::GlobalCorrelated {
+            offsets: vec![],
+            noise: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::GlobalCorrelated {
+            offsets: vec![64],
+            noise: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::GlobalCorrelated {
+            offsets: vec![3],
+            noise: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::PathCorrelated {
+            offsets: vec![],
+            noise: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::PathCorrelated {
+            offsets: vec![2],
+            noise: 0.01
+        }
+        .validate()
+        .is_ok());
         assert!(Behavior::Random.validate().is_ok());
         assert!(Behavior::Loop { trip_count: 8 }.validate().is_ok());
     }
@@ -311,11 +337,25 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let labels = [
-            Behavior::Biased { taken_probability: 0.5 }.label(),
+            Behavior::Biased {
+                taken_probability: 0.5,
+            }
+            .label(),
             Behavior::Loop { trip_count: 2 }.label(),
-            Behavior::LocalPattern { pattern: vec![true] }.label(),
-            Behavior::GlobalCorrelated { offsets: vec![0], noise: 0.0 }.label(),
-            Behavior::PathCorrelated { offsets: vec![0], noise: 0.0 }.label(),
+            Behavior::LocalPattern {
+                pattern: vec![true],
+            }
+            .label(),
+            Behavior::GlobalCorrelated {
+                offsets: vec![0],
+                noise: 0.0,
+            }
+            .label(),
+            Behavior::PathCorrelated {
+                offsets: vec![0],
+                noise: 0.0,
+            }
+            .label(),
             Behavior::Random.label(),
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();

@@ -18,8 +18,7 @@
 //! and which makes Table 3's "branches per lghist bit" measurement
 //! meaningful.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ev8_util::rng::{DefaultRng, Rng};
 
 use ev8_trace::{BranchKind, BranchRecord, Pc, Trace, TraceBuilder};
 
@@ -63,7 +62,7 @@ impl BehaviorMix {
     /// branches, and the share of purely random branches. Benchmarks like
     /// `vortex` (very predictable) use small values; `go` (hard) uses
     /// values near 1.
-    fn sample(&self, rng: &mut StdRng, noise: f64) -> Behavior {
+    fn sample(&self, rng: &mut DefaultRng, noise: f64) -> Behavior {
         let noise = noise.clamp(0.0, 1.0);
         // The random-archetype share scales with the noise level; the
         // remainder falls back to biased branches.
@@ -71,7 +70,7 @@ impl BehaviorMix {
         let biased_w = self.biased + self.random - random_w;
         let t = biased_w + self.loops + self.patterns + self.correlated + random_w;
         assert!(t > 0.0, "behavior mix must have positive total weight");
-        let mut u = rng.gen::<f64>() * t;
+        let mut u = rng.gen_f64() * t;
         u -= biased_w;
         if u < 0.0 {
             // Bimodal bias: strongly taken or strongly not-taken. Real
@@ -80,7 +79,9 @@ impl BehaviorMix {
             // partial update shine.
             let flip = rng.gen_range(0.0005..(0.0015 + 0.06 * noise));
             let p = if rng.gen_bool(0.5) { 1.0 - flip } else { flip };
-            return Behavior::Biased { taken_probability: p };
+            return Behavior::Biased {
+                taken_probability: p,
+            };
         }
         u -= self.loops;
         if u < 0.0 {
@@ -253,19 +254,17 @@ const MAX_CALL_DEPTH: usize = 16;
 fn mean_taken(b: &Behavior) -> f64 {
     match b {
         Behavior::Biased { taken_probability } => *taken_probability,
-        Behavior::Loop { trip_count } => {
-            (*trip_count as f64 - 1.0) / (*trip_count as f64).max(1.0)
-        }
+        Behavior::Loop { trip_count } => (*trip_count as f64 - 1.0) / (*trip_count as f64).max(1.0),
         Behavior::LocalPattern { pattern } => {
             pattern.iter().filter(|&&t| t).count() as f64 / pattern.len().max(1) as f64
         }
-        Behavior::GlobalCorrelated { .. }
-        | Behavior::PathCorrelated { .. }
-        | Behavior::Random => 0.5,
+        Behavior::GlobalCorrelated { .. } | Behavior::PathCorrelated { .. } | Behavior::Random => {
+            0.5
+        }
     }
 }
 
-fn build_program(spec: &ProgramSpec, rng: &mut StdRng) -> Program {
+fn build_program(spec: &ProgramSpec, rng: &mut DefaultRng) -> Program {
     assert!(spec.static_branches > 0, "need at least one static branch");
     assert!(spec.branch_density > 0.0, "branch density must be positive");
 
@@ -280,7 +279,9 @@ fn build_program(spec: &ProgramSpec, rng: &mut StdRng) -> Program {
     let mut remaining = spec.static_branches;
     while remaining > 0 {
         let span = 1.0 + 4.0 * bias;
-        let len = ((rng.gen::<f64>() * span) as usize + 1).clamp(1, 5).min(remaining);
+        let len = ((rng.gen_f64() * span) as usize + 1)
+            .clamp(1, 5)
+            .min(remaining);
         chain_sizes.push(len);
         remaining -= len;
     }
@@ -362,7 +363,7 @@ fn build_program(spec: &ProgramSpec, rng: &mut StdRng) -> Program {
 
     // Patch suffixes and taken-branch targets now that chain entries are
     // known.
-    let pick_chain = |rng: &mut StdRng, self_idx: usize| -> usize {
+    let pick_chain = |rng: &mut DefaultRng, self_idx: usize| -> usize {
         let mut c = zipf.sample(rng);
         if c == self_idx {
             c = (c + 1) % n_chains;
@@ -371,7 +372,7 @@ fn build_program(spec: &ProgramSpec, rng: &mut StdRng) -> Program {
     };
     for ci in 0..n_chains {
         let suffix = {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             if u < spec.call_fraction {
                 Suffix::Call {
                     callee_chain: pick_chain(rng, ci),
@@ -417,7 +418,7 @@ fn chain_of_entry(program: &Program, pc: Pc) -> Option<usize> {
 ///
 /// Panics on degenerate specs (see [`ProgramSpec::generate`]).
 pub fn generate(spec: &ProgramSpec) -> Trace {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = DefaultRng::seed_from_u64(spec.seed);
     let mut program = build_program(spec, &mut rng);
     let n_chains = program.chains.len();
     // Taken branches look up their target chain on every dynamic branch;
@@ -483,9 +484,9 @@ pub fn generate(spec: &ProgramSpec) -> Trace {
         for si in chain.first_site..chain.first_site + chain.len {
             let site = &mut program.sites[si];
             builder.run(site.gap_before as u64);
-            let taken = site
-                .behavior
-                .next_outcome(&mut site.state, global_history, path_history, &mut rng);
+            let taken =
+                site.behavior
+                    .next_outcome(&mut site.state, global_history, path_history, &mut rng);
             builder.branch(BranchRecord::conditional(site.pc, site.target, taken));
             global_history = (global_history << 1) | taken as u64;
             if taken {
@@ -662,11 +663,7 @@ mod tests {
     fn calls_and_returns_present_and_bounded() {
         let t = small_spec().generate();
         let stats = TraceStats::from_trace(&t);
-        let calls = stats
-            .per_kind
-            .get(&BranchKind::Call)
-            .copied()
-            .unwrap_or(0);
+        let calls = stats.per_kind.get(&BranchKind::Call).copied().unwrap_or(0);
         let rets = stats
             .per_kind
             .get(&BranchKind::Return)
@@ -698,7 +695,7 @@ mod tests {
 
     #[test]
     fn loop_back_edges_target_their_chain_entry() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         let spec = small_spec();
         let program = build_program(&spec, &mut rng);
         let mut checked = 0;
@@ -714,7 +711,7 @@ mod tests {
 
     #[test]
     fn site_targets_are_chain_entries() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         let spec = small_spec();
         let program = build_program(&spec, &mut rng);
         for site in &program.sites {

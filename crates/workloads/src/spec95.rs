@@ -134,7 +134,7 @@ pub fn benchmark(name: &str) -> Option<ProgramSpec> {
             0.10,
             0.18,
             0.58,
-            0x88C6,
+            0x5555,
         ),
         "perl" => (
             BehaviorMix {
@@ -148,7 +148,7 @@ pub fn benchmark(name: &str) -> Option<ProgramSpec> {
             0.18,
             0.30,
             0.58,
-            0x9E17,
+            0x1111,
         ),
         "vortex" => (
             BehaviorMix {
@@ -162,7 +162,7 @@ pub fn benchmark(name: &str) -> Option<ProgramSpec> {
             0.15,
             0.12,
             0.95,
-            0x0078,
+            0x6666,
         ),
         _ => return None,
     };

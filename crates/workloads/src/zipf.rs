@@ -5,7 +5,7 @@
 //! dominated by a small hot set. The sampler draws indices `0..n` with
 //! probability proportional to `1 / (rank + 1)^s`.
 
-use rand::Rng;
+use ev8_util::rng::Rng;
 
 /// A precomputed Zipf sampler over `n` items.
 ///
@@ -13,10 +13,10 @@ use rand::Rng;
 ///
 /// ```
 /// use ev8_workloads::zipf::Zipf;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use ev8_util::rng::DefaultRng;
 ///
 /// let z = Zipf::new(100, 1.0);
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = DefaultRng::seed_from_u64(1);
 /// let i = z.sample(&mut rng);
 /// assert!(i < 100);
 /// ```
@@ -35,7 +35,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf over zero items");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -60,7 +63,7 @@ impl Zipf {
 
     /// Draws an index in `0..len()`; rank 0 is the hottest.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
@@ -83,8 +86,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ev8_util::rng::DefaultRng;
 
     #[test]
     fn uniform_when_s_zero() {
@@ -106,7 +108,7 @@ mod tests {
     #[test]
     fn sampling_matches_masses() {
         let z = Zipf::new(50, 1.2);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DefaultRng::seed_from_u64(7);
         let mut counts = vec![0usize; 50];
         let total = 200_000;
         for _ in 0..total {
@@ -125,7 +127,7 @@ mod tests {
     #[test]
     fn sample_in_range_even_at_extremes() {
         let z = Zipf::new(3, 3.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }
@@ -136,7 +138,7 @@ mod tests {
     #[test]
     fn single_item_always_zero() {
         let z = Zipf::new(1, 1.0);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DefaultRng::seed_from_u64(9);
         assert_eq!(z.sample(&mut rng), 0);
         assert!((z.mass(0) - 1.0).abs() < 1e-12);
     }

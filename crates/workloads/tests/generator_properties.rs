@@ -1,51 +1,49 @@
 //! Property-based tests of the synthetic workload generator: structural
 //! invariants any generated trace must satisfy, across random spec
 //! parameters.
+//!
+//! Driven by the in-tree deterministic harness (`ev8_util::prop`);
+//! failures report an `EV8_PROP_CASE_SEED` that reproduces them.
 
-use proptest::prelude::*;
+use ev8_util::prop::{check, Gen};
+use ev8_util::{prop_assert, prop_assert_eq};
 
 use ev8_trace::{BranchKind, TraceStats};
 use ev8_workloads::{BehaviorMix, ProgramSpec};
 
-fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
-    (
-        1u64..10_000,
-        2usize..300,
-        20_000u64..120_000,
-        40.0f64..180.0,
-        0.0f64..=1.0,
-        0.0f64..0.25,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-    )
-        .prop_map(
-            |(seed, statics, instructions, density, skew, calls, noise, chain)| ProgramSpec {
-                name: format!("prop-{seed}"),
-                seed,
-                static_branches: statics,
-                instructions,
-                branch_density: density,
-                mix: BehaviorMix::default_integer(),
-                hotness_skew: skew,
-                call_fraction: calls,
-                noise,
-                chain_length_bias: chain,
-            },
-        )
+const CASES: u64 = 24;
+
+fn arb_spec(g: &mut Gen) -> ProgramSpec {
+    let seed = g.range(1u64..10_000);
+    ProgramSpec {
+        name: format!("prop-{seed}"),
+        seed,
+        static_branches: g.range(2usize..300),
+        instructions: g.range(20_000u64..120_000),
+        branch_density: g.range(40.0f64..180.0),
+        mix: BehaviorMix::default_integer(),
+        hotness_skew: g.range(0.0f64..=1.0),
+        call_fraction: g.range(0.0f64..0.25),
+        noise: g.range(0.0f64..=1.0),
+        chain_length_bias: g.range(0.0f64..=1.0),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generation_is_deterministic(spec in arb_spec()) {
+#[test]
+fn generation_is_deterministic() {
+    check("generation_is_deterministic", CASES, |g| {
+        let spec = arb_spec(g);
         let a = spec.generate();
         let b = spec.generate();
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn instruction_budget_and_counts_hold(spec in arb_spec()) {
+#[test]
+fn instruction_budget_and_counts_hold() {
+    check("instruction_budget_and_counts_hold", CASES, |g| {
+        let spec = arb_spec(g);
         let t = spec.generate();
         prop_assert!(t.instruction_count() >= spec.instructions);
         // The walk stops at the first record boundary past the budget.
@@ -56,40 +54,59 @@ proptest! {
             spec.instructions
         );
         // Builder bookkeeping: counts equal records + gaps.
-        let sum: u64 =
-            t.len() as u64 + t.iter().map(|r| r.gap as u64).sum::<u64>();
+        let sum: u64 = t.len() as u64 + t.iter().map(|r| r.gap as u64).sum::<u64>();
         prop_assert_eq!(sum, t.instruction_count());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn static_footprint_never_exceeds_spec(spec in arb_spec()) {
+#[test]
+fn static_footprint_never_exceeds_spec() {
+    check("static_footprint_never_exceeds_spec", CASES, |g| {
+        let spec = arb_spec(g);
         let t = spec.generate();
         let stats = TraceStats::from_trace(&t);
         prop_assert!(stats.static_conditional as usize <= spec.static_branches);
         prop_assert!(stats.dynamic_conditional > 0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn calls_and_returns_balance(spec in arb_spec()) {
+#[test]
+fn calls_and_returns_balance() {
+    check("calls_and_returns_balance", CASES, |g| {
+        let spec = arb_spec(g);
         let t = spec.generate();
         let stats = TraceStats::from_trace(&t);
         let calls = stats.per_kind.get(&BranchKind::Call).copied().unwrap_or(0);
-        let rets = stats.per_kind.get(&BranchKind::Return).copied().unwrap_or(0);
+        let rets = stats
+            .per_kind
+            .get(&BranchKind::Return)
+            .copied()
+            .unwrap_or(0);
         prop_assert!(rets <= calls, "returns {rets} exceed calls {calls}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn non_conditional_records_are_taken(spec in arb_spec()) {
+#[test]
+fn non_conditional_records_are_taken() {
+    check("non_conditional_records_are_taken", CASES, |g| {
+        let spec = arb_spec(g);
         let t = spec.generate();
         for rec in t.iter() {
             if rec.kind.is_always_taken() {
                 prop_assert!(rec.is_taken(), "{rec}");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pcs_are_instruction_aligned_and_in_region(spec in arb_spec()) {
+#[test]
+fn pcs_are_instruction_aligned_and_in_region() {
+    check("pcs_are_instruction_aligned_and_in_region", CASES, |g| {
+        let spec = arb_spec(g);
         let t = spec.generate();
         for rec in t.iter() {
             prop_assert_eq!(rec.pc.as_u64() % 4, 0);
@@ -97,10 +114,14 @@ proptest! {
             prop_assert!(rec.pc.as_u64() >= 0x1_0000);
             prop_assert!(rec.target.as_u64() >= 0x1_0000);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn density_tracks_target_loosely(spec in arb_spec()) {
+#[test]
+fn density_tracks_target_loosely() {
+    check("density_tracks_target_loosely", CASES, |g| {
+        let spec = arb_spec(g);
         // Density calibration is approximate but must stay in the right
         // regime across the whole parameter space.
         let t = spec.generate();
@@ -111,5 +132,6 @@ proptest! {
             "density {density} vs target {}",
             spec.branch_density
         );
-    }
+        Ok(())
+    });
 }

@@ -30,7 +30,10 @@ fn main() {
     // 1. Fetch-block formation.
     let stats = BlockStats::from_trace(&trace);
     println!("fetch blocks:              {}", stats.blocks);
-    println!("mean block size:           {:.2} instructions", stats.mean_block_size());
+    println!(
+        "mean block size:           {:.2} instructions",
+        stats.mean_block_size()
+    );
     println!(
         "blocks with cond. branches: {} ({:.1}%)",
         stats.blocks_with_conditionals,
@@ -107,7 +110,10 @@ fn main() {
     let stats = FrontEndPipeline::new(2).run(&trace);
     println!("cycle-level pipeline replay (resteer penalty 2 cycles):");
     println!("  cycles:           {}", stats.cycles);
-    println!("  fetch bandwidth:  {:.2} instructions/cycle", stats.fetch_bandwidth());
+    println!(
+        "  fetch bandwidth:  {:.2} instructions/cycle",
+        stats.fetch_bandwidth()
+    );
     println!("  resteers:         {}", stats.resteers);
     println!(
         "  bank conflicts:   {} of {} array reads (guaranteed 0)",

@@ -19,8 +19,12 @@ fn main() {
         .nth(2)
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(0.1);
-    let spec = spec95::benchmark(&bench)
-        .unwrap_or_else(|| panic!("unknown benchmark {bench:?}; use one of {:?}", spec95::NAMES));
+    let spec = spec95::benchmark(&bench).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark {bench:?}; use one of {:?}",
+            spec95::NAMES
+        )
+    });
     let trace = std::sync::Arc::new(spec.generate_scaled(scale));
     println!(
         "sweeping G1 history length on {} ({} branches)\n",

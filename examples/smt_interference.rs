@@ -16,7 +16,9 @@ fn main() {
     let scale = 0.02;
     // Two phase-shifted halves of the same program: the model for two
     // parallel threads of one application.
-    let full = spec95::benchmark("li").unwrap().generate_scaled(2.0 * scale);
+    let full = spec95::benchmark("li")
+        .unwrap()
+        .generate_scaled(2.0 * scale);
     let (li_a, li_b) = full.split_at(full.len() / 2);
     let go = spec95::benchmark("go").unwrap().generate_scaled(scale);
 

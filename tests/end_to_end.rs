@@ -82,14 +82,16 @@ fn predictor_quality_ordering_holds() {
 
 #[test]
 fn workload_statistics_feed_metrics_consistently() {
-    let trace = spec95::benchmark("compress").unwrap().generate_scaled(SCALE);
+    let trace = spec95::benchmark("compress")
+        .unwrap()
+        .generate_scaled(SCALE);
     let stats = TraceStats::from_trace(&trace);
     let r = simulate(Bimodal::new(12), &trace);
     assert_eq!(r.conditional_branches, stats.dynamic_conditional);
     assert_eq!(r.instructions, stats.instructions);
     // misp/KI and misprediction rate are consistent transformations.
-    let from_rate =
-        r.misprediction_rate() * stats.dynamic_conditional as f64 * 1000.0 / stats.instructions as f64;
+    let from_rate = r.misprediction_rate() * stats.dynamic_conditional as f64 * 1000.0
+        / stats.instructions as f64;
     assert!((from_rate - r.misp_per_ki()).abs() < 1e-9);
 }
 

@@ -14,7 +14,10 @@ fn bank_accesses_are_conflict_free_on_real_workloads() {
     for name in ["compress", "gcc"] {
         let trace = spec95::benchmark(name).unwrap().generate_scaled(0.002);
         let blocks = blocks_of(&trace);
-        assert!(blocks.len() > 1000, "{name}: too few blocks to be meaningful");
+        assert!(
+            blocks.len() > 1000,
+            "{name}: too few blocks to be meaningful"
+        );
         let mut seq = BankSequencer::new();
         let mut prev = None;
         for b in &blocks {

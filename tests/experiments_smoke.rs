@@ -52,32 +52,56 @@ fn table3_structure() {
 
 #[test]
 fn fig5_structure() {
-    check(&experiments::fig5::report(SCALE, default_workers()), 6, &[1, 5, 9]);
+    check(
+        &experiments::fig5::report(SCALE, default_workers()),
+        6,
+        &[1, 5, 9],
+    );
 }
 
 #[test]
 fn fig6_structure() {
-    check(&experiments::fig6::report(SCALE, default_workers()), 6, &[1, 9]);
+    check(
+        &experiments::fig6::report(SCALE, default_workers()),
+        6,
+        &[1, 9],
+    );
 }
 
 #[test]
 fn fig7_structure() {
-    check(&experiments::fig7::report(SCALE, default_workers()), 5, &[1, 9]);
+    check(
+        &experiments::fig7::report(SCALE, default_workers()),
+        5,
+        &[1, 9],
+    );
 }
 
 #[test]
 fn fig8_structure() {
-    check(&experiments::fig8::report(SCALE, default_workers()), 3, &[1, 9]);
+    check(
+        &experiments::fig8::report(SCALE, default_workers()),
+        3,
+        &[1, 9],
+    );
 }
 
 #[test]
 fn fig9_structure() {
-    check(&experiments::fig9::report(SCALE, default_workers()), 6, &[1, 9]);
+    check(
+        &experiments::fig9::report(SCALE, default_workers()),
+        6,
+        &[1, 9],
+    );
 }
 
 #[test]
 fn fig10_structure() {
-    check(&experiments::fig10::report(SCALE, default_workers()), 3, &[1, 9]);
+    check(
+        &experiments::fig10::report(SCALE, default_workers()),
+        3,
+        &[1, 9],
+    );
 }
 
 #[test]
@@ -101,7 +125,11 @@ fn smt_structure() {
 
 #[test]
 fn backup_structure() {
-    check(&experiments::backup::report(SCALE, default_workers()), 8, &[1, 2, 3]);
+    check(
+        &experiments::backup::report(SCALE, default_workers()),
+        8,
+        &[1, 2, 3],
+    );
 }
 
 #[test]

@@ -17,11 +17,8 @@ fn ev8_constraints_cost_little() {
     for name in ["compress", "li", "m88ksim", "vortex"] {
         let trace = spec95::benchmark(name).unwrap().generate_scaled(0.01);
         ev8_total += simulate(Ev8Predictor::ev8(), &trace).misp_per_ki();
-        unconstrained_total += simulate(
-            Ev8Predictor::new(Ev8Config::unconstrained_512k()),
-            &trace,
-        )
-        .misp_per_ki();
+        unconstrained_total +=
+            simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace).misp_per_ki();
     }
     assert!(
         ev8_total <= unconstrained_total * 1.25 + 1.0,
@@ -44,9 +41,7 @@ fn partial_update_beats_total_update() {
         partial_total +=
             simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).mispredictions;
         total_total += simulate(
-            TwoBcGskew::new(
-                TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total),
-            ),
+            TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total)),
             &trace,
         )
         .mispredictions;
@@ -107,11 +102,8 @@ fn lghist_is_competitive_with_ghist() {
             &trace,
         )
         .misp_per_ki();
-        ghist_total += simulate(
-            Ev8Predictor::new(Ev8Config::unconstrained_512k()),
-            &trace,
-        )
-        .misp_per_ki();
+        ghist_total +=
+            simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace).misp_per_ki();
     }
     assert!(
         lghist_total <= ghist_total * 1.2 + 0.5,

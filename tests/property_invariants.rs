@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the workspace.
+//! Property-based tests over the core data structures and invariants of
+//! the workspace, driven by the in-tree deterministic harness
+//! (`ev8_util::prop`).
+//!
+//! A failure panics with an `EV8_PROP_CASE_SEED`/`EV8_PROP_SCALE` pair
+//! that reproduces the minimal counterexample in isolation.
 
-use proptest::prelude::*;
+use ev8_util::prop::{check, Gen};
+use ev8_util::{prop_assert, prop_assert_eq, prop_assert_ne};
 
 use ev8_core::banks::{bank_for, BankSequencer};
 use ev8_core::fetch::FetchState;
@@ -11,34 +16,32 @@ use ev8_predictors::skew::{h_inverse, h_transform, skew_index, xor_fold};
 use ev8_predictors::table::SplitCounterTable;
 use ev8_trace::{codec, BranchKind, BranchRecord, Outcome, Pc, TraceBuilder};
 
-fn arb_kind() -> impl Strategy<Value = BranchKind> {
-    prop_oneof![
-        Just(BranchKind::Conditional),
-        Just(BranchKind::Unconditional),
-        Just(BranchKind::Call),
-        Just(BranchKind::Return),
-        Just(BranchKind::IndirectJump),
-    ]
+const CASES: u64 = 256;
+
+const KINDS: [BranchKind; 5] = [
+    BranchKind::Conditional,
+    BranchKind::Unconditional,
+    BranchKind::Call,
+    BranchKind::Return,
+    BranchKind::IndirectJump,
+];
+
+fn arb_record(g: &mut Gen) -> BranchRecord {
+    let kind = *g.choose(&KINDS);
+    let taken = g.bool() || kind.is_always_taken();
+    BranchRecord {
+        pc: Pc::new(g.u32() as u64 * 4),
+        target: Pc::new(g.u32() as u64 * 4),
+        kind,
+        outcome: Outcome::from(taken),
+        gap: g.range(0u32..200),
+    }
 }
 
-fn arb_record() -> impl Strategy<Value = BranchRecord> {
-    (any::<u32>(), any::<u32>(), arb_kind(), any::<bool>(), 0u32..200).prop_map(
-        |(pc, target, kind, taken, gap)| {
-            let taken = taken || kind.is_always_taken();
-            BranchRecord {
-                pc: Pc::new(pc as u64 * 4),
-                target: Pc::new(target as u64 * 4),
-                kind,
-                outcome: Outcome::from(taken),
-                gap,
-            }
-        },
-    )
-}
-
-proptest! {
-    #[test]
-    fn codec_roundtrips_arbitrary_traces(records in prop::collection::vec(arb_record(), 0..300)) {
+#[test]
+fn codec_roundtrips_arbitrary_traces() {
+    check("codec_roundtrips_arbitrary_traces", CASES, |g| {
+        let records = g.vec(0..300, arb_record);
         let mut b = TraceBuilder::new("prop");
         for r in &records {
             b.branch(*r);
@@ -48,15 +51,19 @@ proptest! {
         codec::write_trace(&mut buf, &trace).unwrap();
         let back = codec::read_trace(&mut buf.as_slice()).unwrap();
         prop_assert_eq!(back, trace);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn trace_builder_instruction_accounting(gaps in prop::collection::vec(0u64..100, 1..100)) {
+#[test]
+fn trace_builder_instruction_accounting() {
+    check("trace_builder_instruction_accounting", CASES, |g| {
+        let gaps = g.vec(1..100, |g| g.range(0u64..100));
         let mut b = TraceBuilder::new("prop");
         let mut expected = 0u64;
-        for (i, &g) in gaps.iter().enumerate() {
-            b.run(g);
-            expected += g + 1;
+        for (i, &gap) in gaps.iter().enumerate() {
+            b.run(gap);
+            expected += gap + 1;
             b.branch(BranchRecord::conditional(
                 Pc::new(0x1000 + i as u64 * 4),
                 Pc::new(0x2000),
@@ -66,10 +73,14 @@ proptest! {
         let t = b.finish();
         prop_assert_eq!(t.instruction_count(), expected);
         prop_assert_eq!(t.len(), gaps.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn counter_never_leaves_range(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+#[test]
+fn counter_never_leaves_range() {
+    check("counter_never_leaves_range", CASES, |g| {
+        let ops = g.vec(0..64, |g| g.bool());
         let mut c = Counter2::default();
         for &taken in &ops {
             c.train(Outcome::from(taken));
@@ -80,10 +91,14 @@ proptest! {
                 c
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn counter_agrees_with_reference_model(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+#[test]
+fn counter_agrees_with_reference_model() {
+    check("counter_agrees_with_reference_model", CASES, |g| {
+        let ops = g.vec(0..64, |g| g.bool());
         // Reference: a plain clamped integer.
         let mut c = Counter2::default();
         let mut model: i32 = 1;
@@ -93,12 +108,14 @@ proptest! {
             prop_assert_eq!(c.value() as i32, model);
             prop_assert_eq!(c.prediction().is_taken(), model >= 2);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn split_table_matches_dense_counters(
-        ops in prop::collection::vec((0usize..32, any::<bool>()), 0..200)
-    ) {
+#[test]
+fn split_table_matches_dense_counters() {
+    check("split_table_matches_dense_counters", CASES, |g| {
+        let ops = g.vec(0..200, |g| (g.range(0usize..32), g.bool()));
         // With full-size hysteresis, the split table must behave exactly
         // like an array of 2-bit counters.
         let mut table = SplitCounterTable::full(5);
@@ -110,56 +127,90 @@ proptest! {
         for (i, d) in dense.iter().enumerate() {
             prop_assert_eq!(&table.read(i), d);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn h_transform_is_a_bijection(x in any::<u64>(), n in 1u32..=64) {
+#[test]
+fn h_transform_is_a_bijection() {
+    check("h_transform_is_a_bijection", CASES, |g| {
+        let x = g.u64();
+        let n = g.range(1u32..=64);
         let m = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let y = h_transform(x, n);
         prop_assert!(y <= m);
         prop_assert_eq!(h_inverse(y, n), x & m);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn skew_index_stays_in_range(bank in 0u32..4, v1 in any::<u64>(), v2 in any::<u64>(), n in 1u32..=32) {
+#[test]
+fn skew_index_stays_in_range() {
+    check("skew_index_stays_in_range", CASES, |g| {
+        let bank = g.range(0u32..4);
+        let (v1, v2) = (g.u64(), g.u64());
+        let n = g.range(1u32..=32);
         prop_assert!(skew_index(bank, v1, v2, n) < (1u64 << n));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn xor_fold_preserves_zero_and_range(v in any::<u128>(), n in 1u32..=63) {
+#[test]
+fn xor_fold_preserves_zero_and_range() {
+    check("xor_fold_preserves_zero_and_range", CASES, |g| {
+        let v = g.u128();
+        let n = g.range(1u32..=63);
         prop_assert!(xor_fold(v, n) < (1u64 << n));
         prop_assert_eq!(xor_fold(0, n), 0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn global_history_window_semantics(
-        bits in prop::collection::vec(any::<bool>(), 0..100),
-        len in 1u32..=64,
-    ) {
+#[test]
+fn global_history_window_semantics() {
+    check("global_history_window_semantics", CASES, |g| {
+        let bits = g.vec(0..100, |g| g.bool());
+        let len = g.range(1u32..=64);
         let mut h = GlobalHistory::new(len);
         for &b in &bits {
             h.push(Outcome::from(b));
         }
         // The register equals the last `len` outcomes, newest in bit 0.
         let mut expected = 0u64;
-        for &b in bits.iter().rev().take(len as usize).collect::<Vec<_>>().iter().rev() {
+        for &b in bits
+            .iter()
+            .rev()
+            .take(len as usize)
+            .collect::<Vec<_>>()
+            .iter()
+            .rev()
+        {
             expected = (expected << 1) | (*b as u64);
         }
         if len < 64 {
             expected &= (1u64 << len) - 1;
         }
         prop_assert_eq!(h.bits(), expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bank_never_repeats(y in any::<u64>(), prev in 0u8..4) {
+#[test]
+fn bank_never_repeats() {
+    check("bank_never_repeats", CASES, |g| {
+        let y = g.u64();
+        let prev = g.range(0u8..4);
         let b = bank_for(Pc::new(y), prev);
         prop_assert!(b < 4);
         prop_assert_ne!(b, prev);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bank_sequences_conflict_free(addrs in prop::collection::vec(any::<u32>(), 1..500)) {
+#[test]
+fn bank_sequences_conflict_free() {
+    check("bank_sequences_conflict_free", CASES, |g| {
+        let addrs = g.vec(1..500, |g| g.u32());
         let mut seq = BankSequencer::new();
         let mut prev = None;
         for a in addrs {
@@ -167,24 +218,36 @@ proptest! {
             prop_assert_ne!(Some(b), prev);
             prev = Some(b);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fetch_blocks_always_within_limits(records in prop::collection::vec(arb_record(), 1..300)) {
+#[test]
+fn fetch_blocks_always_within_limits() {
+    check("fetch_blocks_always_within_limits", CASES, |g| {
+        let records = g.vec(1..300, arb_record);
         let mut fs = FetchState::new();
-        let mut check = |b: ev8_core::fetch::FetchBlock| {
+        let mut check_block = |b: ev8_core::fetch::FetchBlock| {
             assert!(b.instructions >= 1 && b.instructions <= 8, "{b:?}");
             let last = b.start.as_u64() + 4 * (b.instructions as u64 - 1);
-            assert_eq!(b.start.as_u64() & !31, last & !31, "block spans regions: {b:?}");
+            assert_eq!(
+                b.start.as_u64() & !31,
+                last & !31,
+                "block spans regions: {b:?}"
+            );
         };
         for r in &records {
-            fs.feed(r, &mut check);
+            fs.feed(r, &mut check_block);
         }
-        fs.flush(&mut check);
-    }
+        fs.flush(&mut check_block);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fetch_block_conditionals_accounted(records in prop::collection::vec(arb_record(), 1..300)) {
+#[test]
+fn fetch_block_conditionals_accounted() {
+    check("fetch_block_conditionals_accounted", CASES, |g| {
+        let records = g.vec(1..300, arb_record);
         // Every conditional record lands in exactly one block.
         let mut fs = FetchState::new();
         let mut cond_in_blocks = 0u64;
@@ -195,14 +258,21 @@ proptest! {
         fs.flush(&mut add);
         let cond_records = records.iter().filter(|r| r.kind.is_conditional()).count() as u64;
         prop_assert_eq!(cond_in_blocks, cond_records);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pc_bit_field_consistency(addr in any::<u64>(), lo in 0u32..60, len in 1u32..=4) {
+#[test]
+fn pc_bit_field_consistency() {
+    check("pc_bit_field_consistency", CASES, |g| {
+        let addr = g.u64();
+        let lo = g.range(0u32..60);
+        let len = g.range(1u32..=4);
         let pc = Pc::new(addr);
         let field = pc.bits(lo, len);
         for i in 0..len {
             prop_assert_eq!((field >> i) & 1, pc.bit(lo + i));
         }
-    }
+        Ok(())
+    });
 }
