@@ -19,10 +19,8 @@ use ev8_sim::simulator::simulate;
 use ev8_trace::Trace;
 use ev8_workloads::spec95;
 
-fn probe_trace() -> Trace {
-    spec95::benchmark("gcc")
-        .expect("known benchmark")
-        .generate_scaled(0.002)
+fn probe_trace() -> std::sync::Arc<Trace> {
+    spec95::cached("gcc", 0.002).expect("known benchmark")
 }
 
 fn announce(label: &str, trace: &Trace, a: Box<dyn BranchPredictor>, b: Box<dyn BranchPredictor>) {

@@ -11,10 +11,8 @@ use ev8_sim::simulator::simulate;
 use ev8_trace::Trace;
 use ev8_workloads::spec95;
 
-fn bench_trace() -> Trace {
-    spec95::benchmark("m88ksim")
-        .expect("known benchmark")
-        .generate_scaled(0.002)
+fn bench_trace() -> std::sync::Arc<Trace> {
+    spec95::cached("m88ksim", 0.002).expect("known benchmark")
 }
 
 fn main() {

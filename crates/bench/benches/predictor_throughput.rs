@@ -16,14 +16,14 @@ use ev8_predictors::tournament::Tournament;
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
 use ev8_predictors::yags::Yags;
 use ev8_predictors::BranchPredictor;
+use std::sync::Arc;
+
 use ev8_sim::simulator::simulate;
 use ev8_trace::Trace;
 use ev8_workloads::spec95;
 
-fn bench_trace() -> Trace {
-    spec95::benchmark("perl")
-        .expect("known benchmark")
-        .generate_scaled(0.002)
+fn bench_trace() -> Arc<Trace> {
+    spec95::cached("perl", 0.002).expect("known benchmark")
 }
 
 type Make = Box<dyn Fn() -> Box<dyn BranchPredictor>>;

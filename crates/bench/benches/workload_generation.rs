@@ -20,9 +20,10 @@ fn generation(h: &mut Harness) {
 }
 
 fn codec_roundtrip(h: &mut Harness) {
-    let trace = spec95::benchmark("li")
-        .expect("known benchmark")
-        .generate_scaled(0.002);
+    // This bench measures the codec, not generation, so the probe trace
+    // can come from the cache. `generation` above deliberately keeps
+    // calling `generate_scaled` — regeneration is the thing it times.
+    let trace = spec95::cached("li", 0.002).expect("known benchmark");
     let mut encoded = Vec::new();
     codec::write_trace(&mut encoded, &trace).expect("encode");
     let mut group = h.group("trace_codec");

@@ -170,10 +170,8 @@ mod tests {
     use super::*;
     use ev8_workloads::spec95;
 
-    fn small_trace() -> Trace {
-        spec95::benchmark("m88ksim")
-            .expect("suite benchmark")
-            .generate_scaled(0.002)
+    fn small_trace() -> std::sync::Arc<Trace> {
+        spec95::cached("m88ksim", 0.002).expect("suite benchmark")
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use ev8_trace::{Outcome, Pc};
 
+use crate::bitvec::Counter2Table;
 use crate::counter::Counter2;
 use crate::predictor::BranchPredictor;
 
@@ -25,7 +26,7 @@ use crate::predictor::BranchPredictor;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Bimodal {
-    table: Vec<Counter2>,
+    table: Counter2Table,
     index_bits: u32,
 }
 
@@ -37,9 +38,8 @@ impl Bimodal {
     ///
     /// Panics if `index_bits` is 0 or greater than 30.
     pub fn new(index_bits: u32) -> Self {
-        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
         Bimodal {
-            table: vec![Counter2::default(); 1 << index_bits],
+            table: Counter2Table::new(index_bits),
             index_bits,
         }
     }
@@ -50,19 +50,19 @@ impl Bimodal {
 
     /// Number of counters in the table.
     pub fn entries(&self) -> usize {
-        self.table.len()
+        self.table.entries()
     }
 
     /// Reads the counter for a PC (exposed for hybrid predictors built on
     /// top of a bimodal component).
     pub fn counter(&self, pc: Pc) -> Counter2 {
-        self.table[self.index(pc)]
+        self.table.get(self.index(pc))
     }
 
     /// Trains the counter for a PC toward an outcome.
     pub fn train(&mut self, pc: Pc, outcome: Outcome) {
         let idx = self.index(pc);
-        self.table[idx].train(outcome);
+        self.table.train(idx, outcome);
     }
 }
 
@@ -76,11 +76,11 @@ impl BranchPredictor for Bimodal {
     }
 
     fn name(&self) -> String {
-        format!("bimodal {}K entries", self.table.len() / 1024)
+        format!("bimodal {}K entries", self.table.entries() / 1024)
     }
 
     fn storage_bits(&self) -> u64 {
-        self.table.len() as u64 * 2
+        self.table.entries() as u64 * 2
     }
 }
 

@@ -1,0 +1,308 @@
+//! Bit-packed storage for predictor tables.
+//!
+//! The paper's tables are *bit* arrays — one prediction bit and one
+//! hysteresis bit per entry (§4.3), or one 2-bit counter per entry for
+//! the classic schemes. Storing each bit in a `u8` inflates the EV8's
+//! 352 Kbit predictor to ~90 KB of table bytes, which spills the L1/L2
+//! cache in the simulate hot loop. These containers pack the same state
+//! into `u64` words (64 bits or 32 counters per word) so a full EV8
+//! predictor fits in ~11 KB and stays cache-resident.
+//!
+//! Both containers reproduce the byte-array semantics **bit for bit**:
+//! reads reassemble exactly the stored bits, and writes change exactly
+//! the addressed bit(s). `tests/property_invariants.rs` checks them
+//! step-for-step against byte-array reference models under random
+//! operation sequences.
+
+use ev8_trace::Outcome;
+
+use crate::counter::Counter2;
+
+/// A fixed-length bit vector packed into `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::bitvec::BitVec;
+///
+/// let mut v = BitVec::filled(100, 1);
+/// assert_eq!(v.get(99), 1);
+/// v.set(99, 0);
+/// assert_eq!(v.get(99), 0);
+/// assert_eq!(v.len(), 100);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` bits, each initialized to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not 0 or 1.
+    pub fn filled(len: usize, bit: u8) -> Self {
+        assert!(bit <= 1, "bit must be 0 or 1");
+        let fill = if bit == 1 { u64::MAX } else { 0 };
+        BitVec {
+            words: vec![fill; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `index` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> u8 {
+        assert!(index < self.len, "bit index {index} out of bounds");
+        ((self.words[index >> 6] >> (index & 63)) & 1) as u8
+    }
+
+    /// Sets the bit at `index` to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or `bit` is not 0 or 1.
+    #[inline]
+    pub fn set(&mut self, index: usize, bit: u8) {
+        assert!(index < self.len, "bit index {index} out of bounds");
+        debug_assert!(bit <= 1, "bit must be 0 or 1");
+        let mask = 1u64 << (index & 63);
+        let word = &mut self.words[index >> 6];
+        *word = (*word & !mask) | ((bit as u64) << (index & 63));
+    }
+}
+
+/// A table of 2-bit saturating counters packed 32 per `u64` word — the
+/// storage behind the classic single-table schemes (bimodal, gshare,
+/// e-gskew banks).
+///
+/// Semantics are identical to a `Vec<Counter2>` with every counter
+/// initialized weakly not taken; only the memory layout differs (2 bits
+/// per counter instead of a byte).
+///
+/// # Example
+///
+/// ```
+/// use ev8_predictors::bitvec::Counter2Table;
+/// use ev8_trace::Outcome;
+///
+/// let mut t = Counter2Table::new(10);
+/// t.train(3, Outcome::Taken);
+/// assert_eq!(t.get(3).value(), 2);
+/// assert_eq!(t.entries(), 1024);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counter2Table {
+    words: Vec<u64>,
+    entries: usize,
+}
+
+/// Every 2-bit lane holding `0b01` — the weakly-not-taken initial state.
+const WEAKLY_NOT_TAKEN_FILL: u64 = 0x5555_5555_5555_5555;
+
+impl Counter2Table {
+    /// Creates a table of `2^index_bits` counters, all weakly not taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is not in `1..=30`.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+        let entries = 1usize << index_bits;
+        Counter2Table {
+            words: vec![WEAKLY_NOT_TAKEN_FILL; entries.div_ceil(32)],
+            entries,
+        }
+    }
+
+    /// Number of counters.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The counter at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> Counter2 {
+        assert!(index < self.entries, "counter index {index} out of bounds");
+        Counter2::new(((self.words[index >> 5] >> ((index & 31) * 2)) & 0b11) as u8)
+    }
+
+    /// Overwrites the counter at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, index: usize, counter: Counter2) {
+        assert!(index < self.entries, "counter index {index} out of bounds");
+        let shift = (index & 31) * 2;
+        let word = &mut self.words[index >> 5];
+        *word = (*word & !(0b11u64 << shift)) | ((counter.value() as u64) << shift);
+    }
+
+    /// Trains the counter at `index` toward `outcome` (saturating).
+    #[inline]
+    pub fn train(&mut self, index: usize, outcome: Outcome) {
+        let mut c = self.get(index);
+        c.train(outcome);
+        self.set(index, c);
+    }
+
+    /// Strengthens the counter at `index` in its current direction.
+    #[inline]
+    pub fn strengthen(&mut self, index: usize) {
+        let mut c = self.get(index);
+        c.strengthen();
+        self.set(index, c);
+    }
+
+    /// Iterates the counters in index order (for tests and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = Counter2> + '_ {
+        (0..self.entries).map(|i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_fill_and_flip() {
+        let mut v = BitVec::filled(130, 1);
+        assert_eq!(v.len(), 130);
+        assert!(!v.is_empty());
+        for i in 0..130 {
+            assert_eq!(v.get(i), 1);
+        }
+        v.set(0, 0);
+        v.set(63, 0);
+        v.set(64, 0);
+        v.set(129, 0);
+        assert_eq!(v.get(0), 0);
+        assert_eq!(v.get(63), 0);
+        assert_eq!(v.get(64), 0);
+        assert_eq!(v.get(129), 0);
+        // Neighbours untouched.
+        assert_eq!(v.get(1), 1);
+        assert_eq!(v.get(62), 1);
+        assert_eq!(v.get(65), 1);
+        assert_eq!(v.get(128), 1);
+    }
+
+    #[test]
+    fn bitvec_zero_filled() {
+        let v = BitVec::filled(64, 0);
+        for i in 0..64 {
+            assert_eq!(v.get(i), 0);
+        }
+        assert!(BitVec::filled(0, 0).is_empty());
+    }
+
+    #[test]
+    fn bitvec_set_is_idempotent_across_words() {
+        let mut v = BitVec::filled(200, 0);
+        for i in (0..200).step_by(7) {
+            v.set(i, 1);
+            v.set(i, 1);
+        }
+        for i in 0..200 {
+            assert_eq!(v.get(i), u8::from(i % 7 == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bitvec_get_bounds_checked() {
+        BitVec::filled(10, 0).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bitvec_set_bounds_checked() {
+        BitVec::filled(10, 0).set(10, 1);
+    }
+
+    #[test]
+    fn counter_table_initial_state() {
+        let t = Counter2Table::new(6);
+        assert_eq!(t.entries(), 64);
+        for c in t.iter() {
+            assert_eq!(c.value(), 1);
+        }
+    }
+
+    #[test]
+    fn counter_table_matches_vec_of_counters() {
+        let mut packed = Counter2Table::new(5);
+        let mut dense = vec![Counter2::default(); 32];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (x >> 33) as usize % 32;
+            let o = Outcome::from(x >> 63 != 0);
+            match (x >> 60) & 0b11 {
+                0 => {
+                    packed.strengthen(i);
+                    dense[i].strengthen();
+                }
+                1 => {
+                    let c = Counter2::new(((x >> 10) & 0b11) as u8);
+                    packed.set(i, c);
+                    dense[i] = c;
+                }
+                _ => {
+                    packed.train(i, o);
+                    dense[i].train(o);
+                }
+            }
+            assert_eq!(packed.get(i), dense[i]);
+        }
+        for (i, d) in dense.iter().enumerate() {
+            assert_eq!(packed.get(i), *d);
+        }
+    }
+
+    #[test]
+    fn counter_table_lane_isolation() {
+        // Saturating one counter must not disturb its word neighbours.
+        let mut t = Counter2Table::new(6);
+        for _ in 0..4 {
+            t.train(17, Outcome::Taken);
+        }
+        assert_eq!(t.get(17).value(), 3);
+        assert_eq!(t.get(16).value(), 1);
+        assert_eq!(t.get(18).value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn counter_table_bounds_checked() {
+        Counter2Table::new(4).get(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits must be 1..=30")]
+    fn counter_table_zero_bits_rejected() {
+        Counter2Table::new(0);
+    }
+}

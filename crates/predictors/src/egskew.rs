@@ -5,7 +5,7 @@
 
 use ev8_trace::{Outcome, Pc};
 
-use crate::counter::Counter2;
+use crate::bitvec::Counter2Table;
 use crate::history::GlobalHistory;
 use crate::predictor::BranchPredictor;
 use crate::skew::InfoVector;
@@ -36,9 +36,9 @@ pub(crate) fn majority(a: Outcome, b: Outcome, c: Outcome) -> Outcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct EGskew {
-    bim: Vec<Counter2>,
-    g0: Vec<Counter2>,
-    g1: Vec<Counter2>,
+    bim: Counter2Table,
+    g0: Counter2Table,
+    g1: Counter2Table,
     index_bits: u32,
     history: GlobalHistory,
 }
@@ -51,11 +51,10 @@ impl EGskew {
     ///
     /// Panics if `index_bits` is not in `1..=30` or `history_length > 64`.
     pub fn new(index_bits: u32, history_length: u32) -> Self {
-        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
         EGskew {
-            bim: vec![Counter2::default(); 1 << index_bits],
-            g0: vec![Counter2::default(); 1 << index_bits],
-            g1: vec![Counter2::default(); 1 << index_bits],
+            bim: Counter2Table::new(index_bits),
+            g0: Counter2Table::new(index_bits),
+            g1: Counter2Table::new(index_bits),
             index_bits,
             history: GlobalHistory::new(history_length),
         }
@@ -78,9 +77,9 @@ impl EGskew {
     fn votes(&self, pc: Pc) -> (Outcome, Outcome, Outcome) {
         let (i0, i1) = self.g_indices(pc);
         (
-            self.bim[self.bim_index(pc)].prediction(),
-            self.g0[i0].prediction(),
-            self.g1[i1].prediction(),
+            self.bim.get(self.bim_index(pc)).prediction(),
+            self.g0.get(i0).prediction(),
+            self.g1.get(i1).prediction(),
         )
     }
 }
@@ -100,18 +99,18 @@ impl BranchPredictor for EGskew {
         if prediction == outcome {
             // Partial update: strengthen only the agreeing banks.
             if b == outcome {
-                self.bim[bi].strengthen();
+                self.bim.strengthen(bi);
             }
             if g0 == outcome {
-                self.g0[i0].strengthen();
+                self.g0.strengthen(i0);
             }
             if g1 == outcome {
-                self.g1[i1].strengthen();
+                self.g1.strengthen(i1);
             }
         } else {
-            self.bim[bi].train(outcome);
-            self.g0[i0].train(outcome);
-            self.g1[i1].train(outcome);
+            self.bim.train(bi, outcome);
+            self.g0.train(i0, outcome);
+            self.g1.train(i1, outcome);
         }
         self.history.push(outcome);
     }
@@ -119,19 +118,20 @@ impl BranchPredictor for EGskew {
     fn name(&self) -> String {
         format!(
             "e-gskew 3x{}K entries, h={}",
-            self.bim.len() / 1024,
+            self.bim.entries() / 1024,
             self.history.length()
         )
     }
 
     fn storage_bits(&self) -> u64 {
-        3 * self.bim.len() as u64 * 2
+        3 * self.bim.entries() as u64 * 2
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counter::Counter2;
 
     #[test]
     fn majority_truth_table() {
@@ -197,9 +197,17 @@ mod tests {
         }
         let bi = p.bim_index(pc);
         let (i0, i1) = p.g_indices(pc);
-        let before = (p.bim[bi].value(), p.g0[i0].value(), p.g1[i1].value());
+        let before = (
+            p.bim.get(bi).value(),
+            p.g0.get(i0).value(),
+            p.g1.get(i1).value(),
+        );
         p.update(pc, Outcome::NotTaken); // misprediction
-        let after = (p.bim[bi].value(), p.g0[i0].value(), p.g1[i1].value());
+        let after = (
+            p.bim.get(bi).value(),
+            p.g0.get(i0).value(),
+            p.g1.get(i1).value(),
+        );
         assert_eq!(after.0, before.0 - 1);
         assert_eq!(after.1, before.1 - 1);
         assert_eq!(after.2, before.2 - 1);
@@ -215,7 +223,7 @@ mod tests {
             p.update(pc, Outcome::Taken);
         }
         let (i0, _) = p.g_indices(pc);
-        p.g0[i0] = Counter2::new(0); // aliased away by another branch
+        p.g0.set(i0, Counter2::new(0)); // aliased away by another branch
         assert_eq!(p.predict(pc), Outcome::Taken);
     }
 

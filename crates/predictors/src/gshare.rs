@@ -6,7 +6,7 @@
 
 use ev8_trace::{Outcome, Pc};
 
-use crate::counter::Counter2;
+use crate::bitvec::Counter2Table;
 use crate::history::GlobalHistory;
 use crate::predictor::BranchPredictor;
 use crate::skew::xor_fold;
@@ -31,7 +31,7 @@ use crate::skew::xor_fold;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Gshare {
-    table: Vec<Counter2>,
+    table: Counter2Table,
     index_bits: u32,
     history: GlobalHistory,
 }
@@ -45,9 +45,8 @@ impl Gshare {
     /// Panics if `index_bits` is 0 or greater than 30, or
     /// `history_length > 64`.
     pub fn new(index_bits: u32, history_length: u32) -> Self {
-        assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
         Gshare {
-            table: vec![Counter2::default(); 1 << index_bits],
+            table: Counter2Table::new(index_bits),
             index_bits,
             history: GlobalHistory::new(history_length),
         }
@@ -67,25 +66,25 @@ impl Gshare {
 
 impl BranchPredictor for Gshare {
     fn predict(&self, pc: Pc) -> Outcome {
-        self.table[self.index(pc)].prediction()
+        self.table.get(self.index(pc)).prediction()
     }
 
     fn update(&mut self, pc: Pc, outcome: Outcome) {
         let idx = self.index(pc);
-        self.table[idx].train(outcome);
+        self.table.train(idx, outcome);
         self.history.push(outcome);
     }
 
     fn name(&self) -> String {
         format!(
             "gshare {}K entries, h={}",
-            self.table.len() / 1024,
+            self.table.entries() / 1024,
             self.history.length()
         )
     }
 
     fn storage_bits(&self) -> u64 {
-        self.table.len() as u64 * 2
+        self.table.entries() as u64 * 2
     }
 }
 

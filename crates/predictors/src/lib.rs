@@ -21,8 +21,8 @@
 //!
 //! Shared infrastructure: [`SaturatingCounter`](counter::SaturatingCounter),
 //! [`GlobalHistory`](history::GlobalHistory), the Seznec-Bodin skewing
-//! function family ([`skew`]), and the [`BranchPredictor`] trait all
-//! predictors implement.
+//! function family ([`skew`]), the bit-packed table storage ([`bitvec`],
+//! [`table`]), and the [`BranchPredictor`] trait all predictors implement.
 //!
 //! # Example
 //!
@@ -46,6 +46,7 @@
 pub mod agree;
 pub mod bimodal;
 pub mod bimode;
+pub mod bitvec;
 pub mod counter;
 pub mod egskew;
 pub mod gselect;

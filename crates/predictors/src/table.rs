@@ -10,6 +10,7 @@
 
 use ev8_trace::Outcome;
 
+use crate::bitvec::BitVec;
 use crate::counter::Counter2;
 
 /// A table of 2-bit counters stored as separate prediction-bit and
@@ -19,6 +20,12 @@ use crate::counter::Counter2;
 /// prediction entries alias onto one hysteresis bit — faithfully
 /// reproducing the §4.4 sharing scenario (entry B can be kept wrong by
 /// entry A continually resetting the shared hysteresis bit).
+///
+/// Both arrays are bit-packed ([`BitVec`], 64 entries per `u64` word), so
+/// the in-memory footprint matches the hardware budget: `storage_bits()`
+/// bits occupy `storage_bits() / 8` bytes. The EV8's 352 Kbit predictor
+/// is 44 KB packed — cache-resident in the simulate hot loop — where the
+/// previous byte-per-bit layout needed 8× that.
 ///
 /// # Example
 ///
@@ -34,8 +41,8 @@ use crate::counter::Counter2;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SplitCounterTable {
-    prediction: Vec<u8>,
-    hysteresis: Vec<u8>,
+    prediction: BitVec,
+    hysteresis: BitVec,
     hysteresis_mask: usize,
     /// Writes to the prediction array (a prediction-bit flip is the
     /// expensive operation: it is the fetch-critical array).
@@ -61,8 +68,8 @@ impl SplitCounterTable {
         );
         // Weakly not taken: prediction bit 0, hysteresis bit 1.
         SplitCounterTable {
-            prediction: vec![0u8; 1 << index_bits],
-            hysteresis: vec![1u8; 1 << hysteresis_index_bits],
+            prediction: BitVec::filled(1 << index_bits, 0),
+            hysteresis: BitVec::filled(1 << hysteresis_index_bits, 1),
             hysteresis_mask: (1 << hysteresis_index_bits) - 1,
             prediction_writes: 0,
             hysteresis_writes: 0,
@@ -94,24 +101,33 @@ impl SplitCounterTable {
     #[inline]
     pub fn read(&self, index: usize) -> Counter2 {
         Counter2::from_split(
-            self.prediction[index],
-            self.hysteresis[index & self.hysteresis_mask],
+            self.prediction.get(index),
+            self.hysteresis.get(index & self.hysteresis_mask),
         )
     }
 
     /// Reads only the prediction bit (the fetch-time read on EV8).
     #[inline]
     pub fn prediction_bit(&self, index: usize) -> u8 {
-        self.prediction[index]
+        self.prediction.get(index)
     }
 
-    /// Writes a logical counter value back through both arrays.
+    /// Writes a logical counter value back through both arrays. As with
+    /// [`SplitCounterTable::train`], each array's write counter moves only
+    /// when its stored bit actually changes — the hardware's write-enable
+    /// logic suppresses same-value writes regardless of which operation
+    /// requested them.
     #[inline]
     pub fn write(&mut self, index: usize, counter: Counter2) {
-        self.prediction[index] = counter.prediction_bit();
-        self.hysteresis[index & self.hysteresis_mask] = counter.hysteresis_bits();
-        self.prediction_writes += 1;
-        self.hysteresis_writes += 1;
+        if self.prediction.get(index) != counter.prediction_bit() {
+            self.prediction.set(index, counter.prediction_bit());
+            self.prediction_writes += 1;
+        }
+        let hidx = index & self.hysteresis_mask;
+        if self.hysteresis.get(hidx) != counter.hysteresis_bits() {
+            self.hysteresis.set(hidx, counter.hysteresis_bits());
+            self.hysteresis_writes += 1;
+        }
     }
 
     /// Trains the counter at `index` toward `outcome` (read-modify-write
@@ -123,11 +139,12 @@ impl SplitCounterTable {
         let before = c;
         c.train(outcome);
         if c.prediction_bit() != before.prediction_bit() {
-            self.prediction[index] = c.prediction_bit();
+            self.prediction.set(index, c.prediction_bit());
             self.prediction_writes += 1;
         }
         if c.hysteresis_bits() != before.hysteresis_bits() {
-            self.hysteresis[index & self.hysteresis_mask] = c.hysteresis_bits();
+            self.hysteresis
+                .set(index & self.hysteresis_mask, c.hysteresis_bits());
             self.hysteresis_writes += 1;
         }
     }
@@ -143,7 +160,8 @@ impl SplitCounterTable {
         // The prediction bit cannot change when strengthening; write only
         // hysteresis, as the EV8 hardware does.
         if c.hysteresis_bits() != before {
-            self.hysteresis[index & self.hysteresis_mask] = c.hysteresis_bits();
+            self.hysteresis
+                .set(index & self.hysteresis_mask, c.hysteresis_bits());
             self.hysteresis_writes += 1;
         }
     }
@@ -281,6 +299,34 @@ mod tests {
         // Weaken from strongly-T: hysteresis-only write.
         t.train(2, Outcome::NotTaken);
         assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 3));
+        // `write` obeys the same write-enable logic as `train`:
+        // weakly-T (10) -> same value: no bits change, no writes.
+        t.write(2, Counter2::new(0b10));
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 3));
+        // weakly-T (10) -> strongly-T (11): hysteresis-only write.
+        t.write(2, Counter2::new(0b11));
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 4));
+        // strongly-T (11) -> weakly-NT (01): prediction-only write.
+        t.write(2, Counter2::new(0b01));
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (2, 4));
+        // weakly-NT (01) -> weakly-T (10): both bits change.
+        t.write(2, Counter2::new(0b10));
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (3, 5));
+    }
+
+    #[test]
+    fn write_through_shared_hysteresis_counts_actual_changes() {
+        // Entries 0 and 8 share hysteresis bit 0 (4 prediction bits,
+        // 3 hysteresis bits). A `write` to entry 8 that lands the same
+        // hysteresis value entry 0 already stored must not count.
+        let mut t = SplitCounterTable::new(4, 3);
+        t.write(0, Counter2::new(0b11)); // pred=1, shared hyst=1 (no change)
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (1, 0));
+        t.write(8, Counter2::new(0b11)); // shared hyst already 1
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (2, 0));
+        t.write(8, Counter2::new(0b10)); // clears shared bit: counts once
+        assert_eq!((t.prediction_writes(), t.hysteresis_writes()), (2, 1));
+        assert_eq!(t.read(0).value(), 0b10); // entry 0 weakened via sharing
     }
 
     #[test]

@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn ras_is_strong_line_predictor_weak() {
-        let t = spec95::benchmark("li").unwrap().generate_scaled(0.005);
+        let t = spec95::cached("li", 0.005).unwrap();
         let a = measure(&t);
         assert!(a.ras > 0.9, "RAS accuracy {} too low", a.ras);
         assert!(

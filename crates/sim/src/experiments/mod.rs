@@ -74,19 +74,22 @@ where
     Arc::new(move || Box::new(f()))
 }
 
-/// Generates the eight SPECINT95-analogue traces at the given scale
-/// (fraction of 100M instructions).
+/// The eight SPECINT95-analogue traces at the given scale (fraction of
+/// 100M instructions), served from the process-wide trace cache.
+///
+/// Uncached benchmarks generate in parallel (one worker per distinct
+/// key); on a warm cache this returns shared `Arc`s without generating
+/// anything.
 ///
 /// # Panics
 ///
 /// Panics if `scale` is not positive.
 pub fn suite_traces(scale: f64) -> Vec<Arc<Trace>> {
     assert!(scale > 0.0, "scale must be positive");
-    let specs = spec95::suite();
-    let jobs: Vec<Box<dyn FnOnce() -> Arc<Trace> + Send>> = specs
-        .into_iter()
-        .map(|spec| {
-            Box::new(move || Arc::new(spec.generate_scaled(scale)))
+    let jobs: Vec<Box<dyn FnOnce() -> Arc<Trace> + Send>> = spec95::NAMES
+        .iter()
+        .map(|name| {
+            Box::new(move || spec95::cached(name, scale).expect("all suite names are known"))
                 as Box<dyn FnOnce() -> Arc<Trace> + Send>
         })
         .collect();

@@ -32,7 +32,7 @@ pub fn report(benchmark: &str, max_scale: f64, workers: usize) -> ExperimentRepo
         .map(|&scale| {
             let spec = spec.clone();
             Box::new(move || {
-                let t: Arc<Trace> = Arc::new(spec.generate_scaled(scale));
+                let t: Arc<Trace> = ev8_workloads::cache::global().get_scaled(&spec, scale);
                 let small = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_256k()), &t);
                 let large = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &t);
                 (small.misp_per_ki(), large.misp_per_ki())

@@ -54,18 +54,15 @@ pub fn report(scale: f64) -> ExperimentReport {
         "+ same app".into(),
         "+ go".into(),
     ]);
-    let go = spec95::benchmark("go")
-        .expect("go exists")
-        .generate_scaled(scale);
+    let go = spec95::cached("go", scale).expect("go exists");
     for name in ["li", "m88ksim", "vortex", "perl"] {
-        let spec = spec95::benchmark(name).expect("suite benchmark");
-        let full = spec.generate_scaled(2.0 * scale);
+        let full = spec95::cached(name, 2.0 * scale).expect("suite benchmark");
         // Two phase-shifted halves of the same program: the model for two
         // parallel threads of one application.
         let (a, b) = full.split_at(full.len() / 2);
         let alone = simulate(Ev8Predictor::ev8(), &a).misp_per_ki();
         let same = corun_mispki(&[a.clone(), b])[0];
-        let with_go = corun_mispki(&[a, go.clone()])[0];
+        let with_go = corun_mispki(&[a, (*go).clone()])[0];
         table.row(vec![
             name.to_owned(),
             format!("{alone:.3}"),
@@ -108,8 +105,8 @@ mod tests {
 
     #[test]
     fn corun_returns_one_value_per_thread() {
-        let t1 = spec95::benchmark("li").unwrap().generate_scaled(0.001);
-        let t2 = spec95::benchmark("go").unwrap().generate_scaled(0.001);
+        let t1 = (*spec95::cached("li", 0.001).unwrap()).clone();
+        let t2 = (*spec95::cached("go", 0.001).unwrap()).clone();
         let v = corun_mispki(&[t1, t2]);
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|m| m.is_finite() && *m >= 0.0));

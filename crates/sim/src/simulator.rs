@@ -78,21 +78,24 @@ pub fn simulate_stale_update<P: BranchPredictor>(
 
 /// A perfect predictor (always right) — gives the misp/KI floor of zero
 /// and is useful for harness self-checks.
+///
+/// The oracle is stateless: it answers from the [`BranchRecord`] handed
+/// to [`BranchPredictor::predict_and_update`], which is how [`simulate`]
+/// drives it. The PC-only [`BranchPredictor::predict`] entry point has no
+/// record to consult and statically answers not-taken.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct Oracle {
-    next: Option<Outcome>,
-}
+pub struct Oracle;
 
 impl Oracle {
     /// Creates an oracle.
     pub fn new() -> Self {
-        Oracle::default()
+        Oracle
     }
 }
 
 impl BranchPredictor for Oracle {
     fn predict(&self, _pc: ev8_trace::Pc) -> Outcome {
-        self.next.unwrap_or(Outcome::NotTaken)
+        Outcome::NotTaken
     }
 
     fn update(&mut self, _pc: ev8_trace::Pc, _outcome: Outcome) {}

@@ -4,6 +4,7 @@
 //! this module fans them out over `std::thread::scope` worker threads
 //! (results come back in job order).
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -13,7 +14,11 @@ use std::thread;
 ///
 /// # Panics
 ///
-/// Panics if a job panics or `workers == 0`.
+/// Panics if `workers == 0`. If a job panics, the remaining jobs still
+/// run to completion and their results are drained; then the *first*
+/// panicking job's original payload is re-raised on the calling thread
+/// (instead of a generic "worker panicked" double panic out of
+/// `thread::scope`).
 ///
 /// # Example
 ///
@@ -33,7 +38,7 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, workers: 
     }
     let workers = workers.min(n);
     let (job_tx, job_rx) = mpsc::channel::<(usize, Box<dyn FnOnce() -> T + Send>)>();
-    let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
+    let (res_tx, res_rx) = mpsc::channel::<(usize, thread::Result<T>)>();
     for j in jobs.into_iter().enumerate() {
         job_tx.send(j).expect("queue open");
     }
@@ -52,7 +57,10 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, workers: 
                 let next = job_rx.lock().expect("job queue poisoned").recv();
                 match next {
                     Ok((i, job)) => {
-                        let out = job();
+                        // Catch a panicking job so the worker survives to
+                        // run the rest of the queue; the payload is shipped
+                        // back and re-raised after the drain.
+                        let out = panic::catch_unwind(AssertUnwindSafe(job));
                         if res_tx.send((i, out)).is_err() {
                             return;
                         }
@@ -63,12 +71,23 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, workers: 
         }
         drop(res_tx);
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut first_panic = None;
         while let Ok((i, v)) = res_rx.recv() {
-            slots[i] = Some(v);
+            match v {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
         }
         slots
             .into_iter()
-            .map(|s| s.expect("worker panicked"))
+            .map(|s| s.expect("every job sent a result"))
             .collect()
     })
 }
@@ -134,5 +153,49 @@ mod tests {
     fn zero_workers_rejected() {
         let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 1)];
         run_parallel(jobs, 0);
+    }
+
+    #[test]
+    fn job_panic_propagates_original_payload() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job exploded")),
+            Box::new(|| 3),
+        ];
+        let err = panic::catch_unwind(AssertUnwindSafe(|| run_parallel(jobs, 2)))
+            .expect_err("panic must propagate");
+        // The caller sees the job's own payload, not a secondary
+        // "worker panicked" message.
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload is the panic message");
+        assert_eq!(msg, "job exploded");
+    }
+
+    #[test]
+    fn surviving_jobs_complete_before_panic_propagates() {
+        // The panicking job must not poison the queue: with one worker the
+        // remaining jobs still run (observable via the shared counter) even
+        // though their results are discarded by the unwind.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = (0..4u8)
+            .map(|i| {
+                let completed = Arc::clone(&completed);
+                Box::new(move || {
+                    if i == 0 {
+                        panic!("early job panics");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    i
+                }) as Box<dyn FnOnce() -> u8 + Send>
+            })
+            .collect();
+        let err = panic::catch_unwind(AssertUnwindSafe(|| run_parallel(jobs, 1)))
+            .expect_err("panic must propagate");
+        assert_eq!(completed.load(Ordering::SeqCst), 3);
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "early job panics");
     }
 }

@@ -24,9 +24,10 @@
 //! ```
 //!
 //! `cargo bench` runs offline; `EV8_BENCH_SAMPLES` overrides the sample
-//! count (e.g. `EV8_BENCH_SAMPLES=3` for a quick smoke run), and a
-//! positional command-line argument filters benchmarks by substring of
-//! `group/name`.
+//! count — including any per-group [`Group::sample_size`] calls, so
+//! `EV8_BENCH_SAMPLES=1` is a true one-sample smoke run (this is what
+//! `scripts/ci.sh` uses) — and a positional command-line argument
+//! filters benchmarks by substring of `group/name`.
 
 use std::hint::black_box as hint_black_box;
 use std::time::{Duration, Instant};
@@ -46,6 +47,9 @@ const MIN_SAMPLE: Duration = Duration::from_millis(2);
 pub struct Harness {
     filter: Option<String>,
     sample_size: usize,
+    /// True when `sample_size` came from `EV8_BENCH_SAMPLES`; the env
+    /// var then also wins over per-group [`Group::sample_size`] calls.
+    env_samples: bool,
     ran: usize,
 }
 
@@ -55,17 +59,18 @@ impl Harness {
     /// Flags injected by `cargo bench` (`--bench`, `--nocapture`, ...)
     /// are ignored; the first non-flag argument is a substring filter on
     /// `group/name`. `EV8_BENCH_SAMPLES` sets the per-benchmark sample
-    /// count (default 10).
+    /// count (default 10) and, when present, overrides per-group
+    /// [`Group::sample_size`] calls too.
     pub fn from_env() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        let sample_size = std::env::var("EV8_BENCH_SAMPLES")
+        let env_sample_size = std::env::var("EV8_BENCH_SAMPLES")
             .ok()
             .and_then(|s| s.trim().parse().ok())
-            .filter(|&n: &usize| n > 0)
-            .unwrap_or(10);
+            .filter(|&n: &usize| n > 0);
         Harness {
             filter,
-            sample_size,
+            sample_size: env_sample_size.unwrap_or(10),
+            env_samples: env_sample_size.is_some(),
             ran: 0,
         }
     }
@@ -75,6 +80,7 @@ impl Harness {
         Harness {
             filter,
             sample_size: sample_size.max(1),
+            env_samples: false,
             ran: 0,
         }
     }
@@ -111,7 +117,9 @@ impl Group<'_> {
         self
     }
 
-    /// Overrides the harness sample count for this group.
+    /// Overrides the harness sample count for this group. An
+    /// `EV8_BENCH_SAMPLES` environment setting still wins, so smoke runs
+    /// stay one-sample even through groups that ask for more.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n.max(1));
         self
@@ -125,8 +133,13 @@ impl Group<'_> {
                 return;
             }
         }
+        let sample_size = if self.harness.env_samples {
+            self.harness.sample_size
+        } else {
+            self.sample_size.unwrap_or(self.harness.sample_size)
+        };
         let mut b = Bencher {
-            sample_size: self.sample_size.unwrap_or(self.harness.sample_size),
+            sample_size,
             result: None,
         };
         f(&mut b);
@@ -279,6 +292,33 @@ mod tests {
             g.bench("match-me-exactly", |b| b.iter(|| 1u32 + 1));
         }
         assert_eq!(h.ran(), 1);
+    }
+
+    #[test]
+    fn env_sample_count_beats_group_sample_size() {
+        let mut h = Harness {
+            filter: None,
+            sample_size: 2,
+            env_samples: true,
+            ran: 0,
+        };
+        let mut g = h.group("g");
+        g.sample_size(50);
+        g.bench("b", |b| {
+            b.iter(|| 1u32 + 1);
+            assert_eq!(b.measurement().unwrap().samples, 2);
+        });
+    }
+
+    #[test]
+    fn group_sample_size_applies_without_env_override() {
+        let mut h = Harness::with_config(None, 9);
+        let mut g = h.group("g");
+        g.sample_size(4);
+        g.bench("b", |b| {
+            b.iter(|| 1u32 + 1);
+            assert_eq!(b.measurement().unwrap().samples, 4);
+        });
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Process-wide memoized trace provider.
+//!
+//! Trace generation is deterministic — a [`ProgramSpec`] and a scale
+//! factor fully determine the output — yet the test suite and the
+//! experiment drivers used to regenerate the same handful of
+//! (benchmark, scale) traces dozens of times per run, dominating
+//! tier-1 wall clock. This module memoizes generation behind a global
+//! [`TraceCache`]: the first request for a key generates the trace
+//! (exactly once, even under concurrent requests), every later request
+//! clones an [`Arc`].
+//!
+//! Cached traces are immutable by construction (`Arc<Trace>` hands out
+//! shared references only), so memoization cannot change simulation
+//! results: a cached trace is bit-identical to a freshly generated one.
+//! `crates/workloads/tests/generator_properties.rs` checks that equality
+//! property over random benchmark/scale pairs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ev8_trace::Trace;
+
+use crate::program::ProgramSpec;
+
+/// Cache key: the spec's identity plus the *scaled* instruction count.
+///
+/// Keying on the resolved `u64` instruction count (instead of the `f64`
+/// scale) avoids float keys and collapses distinct scales that round to
+/// the same trace length — those produce identical traces anyway.
+#[derive(Clone, Hash, PartialEq, Eq, Debug)]
+struct Key {
+    name: String,
+    seed: u64,
+    instructions: u64,
+}
+
+/// A memoizing trace store keyed by (spec name, seed, scaled length).
+///
+/// Each entry is an `Arc<OnceLock<..>>` cell: the outer map lock is held
+/// only long enough to find or insert the cell, then released, so two
+/// threads requesting *different* keys generate in parallel while two
+/// threads requesting the *same* key serialize on that key's cell and
+/// generate exactly once.
+///
+/// # Example
+///
+/// ```
+/// use ev8_workloads::cache::TraceCache;
+/// use ev8_workloads::spec95;
+///
+/// let cache = TraceCache::new();
+/// let spec = spec95::benchmark("compress").unwrap();
+/// let a = cache.get_scaled(&spec, 0.001);
+/// let b = cache.get_scaled(&spec, 0.001);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // second hit is a clone
+/// ```
+pub struct TraceCache {
+    entries: Mutex<HashMap<Key, Arc<OnceLock<Arc<Trace>>>>>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TraceCache {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the trace for `spec` at full length, generating it on the
+    /// first request and reusing it afterwards.
+    pub fn get(&self, spec: &ProgramSpec) -> Arc<Trace> {
+        self.get_scaled(spec, 1.0)
+    }
+
+    /// Returns the trace for `spec` scaled by `scale` (as
+    /// [`ProgramSpec::generate_scaled`] would produce), generating it on
+    /// the first request and reusing it afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn get_scaled(&self, spec: &ProgramSpec, scale: f64) -> Arc<Trace> {
+        assert!(scale > 0.0, "scale must be positive");
+        let instructions = ((spec.instructions as f64) * scale).max(1.0) as u64;
+        let key = Key {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            instructions,
+        };
+        let cell = {
+            let mut map = self.entries.lock().expect("trace cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // The map lock is released; generation for this key happens at
+        // most once, and other keys proceed concurrently.
+        Arc::clone(cell.get_or_init(|| {
+            let mut scaled = spec.clone();
+            scaled.instructions = instructions;
+            Arc::new(scaled.generate())
+        }))
+    }
+
+    /// Number of distinct traces generated so far.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("trace cache poisoned")
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// True when no trace has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide cache used by [`crate::spec95::cached`].
+pub fn global() -> &'static TraceCache {
+    static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+    GLOBAL.get_or_init(TraceCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec95;
+    use std::thread;
+
+    fn tiny_spec() -> ProgramSpec {
+        let mut spec = spec95::benchmark("compress").unwrap();
+        spec.instructions = 50_000;
+        spec
+    }
+
+    #[test]
+    fn cached_trace_matches_fresh_generation() {
+        let cache = TraceCache::new();
+        let spec = tiny_spec();
+        let cached = cache.get_scaled(&spec, 0.5);
+        let fresh = spec.generate_scaled(0.5);
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn second_request_reuses_the_allocation() {
+        let cache = TraceCache::new();
+        let spec = tiny_spec();
+        let a = cache.get(&spec);
+        let b = cache.get(&spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_scales_are_distinct_entries() {
+        let cache = TraceCache::new();
+        let spec = tiny_spec();
+        assert!(cache.is_empty());
+        let full = cache.get_scaled(&spec, 1.0);
+        let half = cache.get_scaled(&spec, 0.5);
+        assert!(!Arc::ptr_eq(&full, &half));
+        assert_eq!(cache.len(), 2);
+        assert!(half.instruction_count() < full.instruction_count());
+    }
+
+    #[test]
+    fn scales_rounding_to_same_length_share_an_entry() {
+        let cache = TraceCache::new();
+        let spec = tiny_spec();
+        // 50_000 * 0.2 and 50_000 * 0.200_000_1 both round to 10_000.
+        let a = cache.get_scaled(&spec, 0.2);
+        let b = cache.get_scaled(&spec, 0.200_000_1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_generate_exactly_once() {
+        let cache = TraceCache::new();
+        let spec = tiny_spec();
+        let traces: Vec<Arc<Trace>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.get_scaled(&spec, 0.25)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t));
+        }
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let spec = tiny_spec();
+        let a = global().get_scaled(&spec, 0.1);
+        let b = global().get_scaled(&spec, 0.1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        TraceCache::new().get_scaled(&tiny_spec(), 0.0);
+    }
+}

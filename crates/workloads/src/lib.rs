@@ -17,6 +17,10 @@
 //!   (compress, gcc, go, ijpeg, li, m88ksim, perl, vortex), reproducing
 //!   each benchmark's static footprint, branch density and predictability
 //!   class.
+//! * [`cache`] — a process-wide memoized trace provider
+//!   ([`cache::TraceCache`]): generation is deterministic, so tests and
+//!   experiments fetch shared `Arc<Trace>`s via [`spec95::cached`]
+//!   instead of regenerating the same trace at every call site.
 //!
 //! What the substitution preserves (and what it does not): the experiments
 //! in the paper measure *relative* predictor quality driven by aliasing
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod cache;
 pub mod program;
 pub mod spec95;
 pub mod zipf;

@@ -20,6 +20,10 @@
 //! [`table2_reference`] so the Table 2 experiment can print
 //! paper-vs-generated numbers side by side.
 
+use std::sync::Arc;
+
+use ev8_trace::Trace;
+
 use crate::program::{BehaviorMix, ProgramSpec};
 
 /// The benchmark names of Table 2, in the paper's order.
@@ -185,6 +189,27 @@ pub fn suite() -> Vec<ProgramSpec> {
     NAMES
         .iter()
         .map(|n| benchmark(n).expect("all suite names are known"))
+        .collect()
+}
+
+/// The trace for `benchmark(name)` scaled by `scale`, served from the
+/// process-wide [`crate::cache`]: generated on the first request,
+/// shared (bit-identical, same allocation) on every later one.
+///
+/// Returns `None` for an unknown benchmark name.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn cached(name: &str, scale: f64) -> Option<Arc<Trace>> {
+    Some(crate::cache::global().get_scaled(&benchmark(name)?, scale))
+}
+
+/// Cached traces for the whole suite at one scale, in Table 2 order.
+pub fn cached_suite(scale: f64) -> Vec<Arc<Trace>> {
+    NAMES
+        .iter()
+        .map(|n| cached(n, scale).expect("all suite names are known"))
         .collect()
 }
 

@@ -9,7 +9,7 @@ use ev8_util::prop::{check, Gen};
 use ev8_util::{prop_assert, prop_assert_eq};
 
 use ev8_trace::{BranchKind, TraceStats};
-use ev8_workloads::{BehaviorMix, ProgramSpec};
+use ev8_workloads::{spec95, BehaviorMix, ProgramSpec};
 
 const CASES: u64 = 24;
 
@@ -116,6 +116,33 @@ fn pcs_are_instruction_aligned_and_in_region() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn cached_trace_is_bit_identical_to_fresh_generation() {
+    check(
+        "cached_trace_is_bit_identical_to_fresh_generation",
+        12,
+        |g| {
+            // Random suite benchmark at a random (tiny) scale: the memoized
+            // provider must return exactly what direct generation produces —
+            // this is the property that makes the cache sound to use
+            // everywhere.
+            let name = *g.choose(&spec95::NAMES);
+            // Quantized scales keep the global cache small across cases
+            // while still exercising several distinct keys per benchmark.
+            let scale = g.range(1u64..=4) as f64 * 0.0002;
+            let cached = spec95::cached(name, scale).expect("suite name");
+            let fresh = spec95::benchmark(name)
+                .expect("suite name")
+                .generate_scaled(scale);
+            prop_assert_eq!(&*cached, &fresh);
+            // And a second fetch returns the same allocation, not a copy.
+            let again = spec95::cached(name, scale).expect("suite name");
+            prop_assert!(std::sync::Arc::ptr_eq(&cached, &again));
+            Ok(())
+        },
+    );
 }
 
 #[test]

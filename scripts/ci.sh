@@ -29,9 +29,34 @@ if [ "$QUICK" -eq 0 ]; then
     run cargo build --release --offline
 fi
 run cargo test -q --workspace --offline
-# Benches are plain `fn main()` binaries on the in-tree harness; make sure
-# they at least build (running them is a manual, timing-sensitive step).
+
+# The heaviest tier-1 suite runs against a wall-clock budget. With the
+# memoized trace provider and parallel fan-out it finishes in well under
+# a minute; the generous default budget only trips on a real regression
+# (e.g. the trace cache silently regenerating at every call site).
+PAPER_SHAPES_BUDGET="${EV8_PAPER_SHAPES_BUDGET:-180}"
+paper_shapes_start=$(date +%s)
+run cargo test -q --test paper_shapes --offline
+paper_shapes_elapsed=$(( $(date +%s) - paper_shapes_start ))
+echo "==> paper_shapes wall-clock: ${paper_shapes_elapsed}s (budget ${PAPER_SHAPES_BUDGET}s)"
+if [ "$paper_shapes_elapsed" -gt "$PAPER_SHAPES_BUDGET" ]; then
+    echo "error: paper_shapes exceeded its ${PAPER_SHAPES_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
+# Benches are plain `fn main()` binaries on the in-tree harness: build
+# them all, then smoke-run them at one sample per benchmark
+# (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays
+# fast; EV8_BENCH_JSON keeps the smoke from overwriting the committed
+# BENCH_sim.json numbers). Proper timing runs remain a manual step.
 run cargo build --benches --offline
+if [ "$QUICK" -eq 0 ]; then
+    # cargo runs bench binaries from the package directory, so the
+    # redirect path must be absolute.
+    run env EV8_BENCH_SAMPLES=1 EV8_BENCH_JSON="$PWD/target/bench-smoke.json" \
+        cargo bench --offline -p ev8-bench
+fi
+
 run cargo clippy --all-targets --offline -- -D warnings
 run cargo fmt --check
 

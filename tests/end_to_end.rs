@@ -7,6 +7,7 @@ use ev8_predictors::gshare::Gshare;
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
 use ev8_predictors::{AlwaysNotTaken, AlwaysTaken, BranchPredictor};
 use ev8_sim::simulate;
+use ev8_sim::sweep::{default_workers, run_parallel};
 use ev8_trace::TraceStats;
 use ev8_workloads::spec95;
 
@@ -14,34 +15,40 @@ const SCALE: f64 = 0.005;
 
 #[test]
 fn full_pipeline_produces_sane_results() {
-    for name in spec95::NAMES {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(SCALE);
-        let r = simulate(Ev8Predictor::ev8(), &trace);
-        assert_eq!(r.trace, name);
-        assert!(r.conditional_branches > 0, "{name}: no branches predicted");
-        assert!(
-            r.mispredictions < r.conditional_branches / 2,
-            "{name}: worse than a coin flip ({r})"
-        );
-        assert!(r.misp_per_ki() < 60.0, "{name}: {r}");
-    }
+    let jobs: Vec<Box<dyn FnOnce() + Send>> = spec95::NAMES
+        .into_iter()
+        .map(|name| {
+            Box::new(move || {
+                let trace = spec95::cached(name, SCALE).unwrap();
+                let r = simulate(Ev8Predictor::ev8(), &trace);
+                assert_eq!(r.trace, name);
+                assert!(r.conditional_branches > 0, "{name}: no branches predicted");
+                assert!(
+                    r.mispredictions < r.conditional_branches / 2,
+                    "{name}: worse than a coin flip ({r})"
+                );
+                assert!(r.misp_per_ki() < 60.0, "{name}: {r}");
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    run_parallel(jobs, default_workers());
 }
 
 #[test]
 fn simulation_is_deterministic() {
-    let trace = spec95::benchmark("li").unwrap().generate_scaled(SCALE);
+    let trace = spec95::cached("li", SCALE).unwrap();
     let a = simulate(Ev8Predictor::ev8(), &trace);
     let b = simulate(Ev8Predictor::ev8(), &trace);
     assert_eq!(a.mispredictions, b.mispredictions);
     assert_eq!(a.conditional_branches, b.conditional_branches);
-    // And the workload itself is reproducible from its spec.
+    // And the cached trace is exactly what fresh generation produces.
     let again = spec95::benchmark("li").unwrap().generate_scaled(SCALE);
-    assert_eq!(trace, again);
+    assert_eq!(*trace, again);
 }
 
 #[test]
 fn static_predictors_bound_learning_predictors() {
-    let trace = spec95::benchmark("m88ksim").unwrap().generate_scaled(SCALE);
+    let trace = spec95::cached("m88ksim", SCALE).unwrap();
     let taken = simulate(AlwaysTaken, &trace);
     let not_taken = simulate(AlwaysNotTaken, &trace);
     let learned = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace);
@@ -62,7 +69,7 @@ fn static_predictors_bound_learning_predictors() {
 fn predictor_quality_ordering_holds() {
     // On a correlation-rich benchmark: bimodal < gshare < 2Bc-gskew in
     // accuracy (the motivation chain of the paper's §4).
-    let trace = spec95::benchmark("li").unwrap().generate_scaled(0.01);
+    let trace = spec95::cached("li", 0.01).unwrap();
     let bimodal = simulate(Bimodal::new(14), &trace);
     let gshare = simulate(Gshare::new(16, 16), &trace);
     let gskew = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace);
@@ -82,9 +89,7 @@ fn predictor_quality_ordering_holds() {
 
 #[test]
 fn workload_statistics_feed_metrics_consistently() {
-    let trace = spec95::benchmark("compress")
-        .unwrap()
-        .generate_scaled(SCALE);
+    let trace = spec95::cached("compress", SCALE).unwrap();
     let stats = TraceStats::from_trace(&trace);
     let r = simulate(Bimodal::new(12), &trace);
     assert_eq!(r.conditional_branches, stats.dynamic_conditional);
@@ -97,7 +102,7 @@ fn workload_statistics_feed_metrics_consistently() {
 
 #[test]
 fn boxed_and_plain_predictors_agree() {
-    let trace = spec95::benchmark("perl").unwrap().generate_scaled(SCALE);
+    let trace = spec95::cached("perl", SCALE).unwrap();
     let plain = simulate(Gshare::new(14, 12), &trace);
     let boxed: Box<dyn BranchPredictor> = Box::new(Gshare::new(14, 12));
     let via_box = simulate(boxed, &trace);

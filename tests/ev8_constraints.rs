@@ -1,10 +1,15 @@
 //! Integration checks of the EV8's hardware constraints against real
 //! generated workloads (not just unit fixtures).
+//!
+//! Traces come from the process-wide cache ([`spec95::cached`]); the
+//! all-benchmark smoke fans out over [`run_parallel`] (panics inside
+//! jobs propagate to the test with their original message).
 
 use ev8_core::banks::BankSequencer;
 use ev8_core::fetch::blocks_of;
 use ev8_core::{Ev8Config, Ev8Predictor};
 use ev8_predictors::BranchPredictor;
+use ev8_sim::sweep::{default_workers, run_parallel};
 use ev8_workloads::spec95;
 
 #[test]
@@ -12,7 +17,7 @@ fn bank_accesses_are_conflict_free_on_real_workloads() {
     // §6: any two dynamically successive fetch blocks must access two
     // distinct banks — verified over every block of a generated trace.
     for name in ["compress", "gcc"] {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.002);
+        let trace = spec95::cached(name, 0.002).unwrap();
         let blocks = blocks_of(&trace);
         assert!(
             blocks.len() > 1000,
@@ -30,7 +35,7 @@ fn bank_accesses_are_conflict_free_on_real_workloads() {
 
 #[test]
 fn all_banks_carry_real_load() {
-    let trace = spec95::benchmark("perl").unwrap().generate_scaled(0.002);
+    let trace = spec95::cached("perl", 0.002).unwrap();
     let blocks = blocks_of(&trace);
     let mut seq = BankSequencer::new();
     let mut counts = [0u64; 4];
@@ -48,7 +53,7 @@ fn all_banks_carry_real_load() {
 
 #[test]
 fn fetch_blocks_respect_hardware_limits_on_real_workloads() {
-    let trace = spec95::benchmark("vortex").unwrap().generate_scaled(0.002);
+    let trace = spec95::cached("vortex", 0.002).unwrap();
     for b in blocks_of(&trace) {
         assert!(b.instructions >= 1 && b.instructions <= 8, "{b:?}");
         assert!(b.conditional_count <= 8, "{b:?}");
@@ -72,13 +77,19 @@ fn ev8_predictor_handles_every_suite_benchmark() {
     // Smoke the full constrained pipeline (fetch, lghist, banks, index,
     // partial update) over every benchmark without panics and with
     // better-than-chance accuracy.
-    for name in spec95::NAMES {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.002);
-        let r = ev8_sim::simulate(Ev8Predictor::ev8(), &trace);
-        assert!(
-            r.accuracy() > 0.6,
-            "{name}: EV8 accuracy {:.3} too low",
-            r.accuracy()
-        );
-    }
+    let jobs: Vec<Box<dyn FnOnce() + Send>> = spec95::NAMES
+        .into_iter()
+        .map(|name| {
+            Box::new(move || {
+                let trace = spec95::cached(name, 0.002).unwrap();
+                let r = ev8_sim::simulate(Ev8Predictor::ev8(), &trace);
+                assert!(
+                    r.accuracy() > 0.6,
+                    "{name}: EV8 accuracy {:.3} too low",
+                    r.accuracy()
+                );
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    run_parallel(jobs, default_workers());
 }

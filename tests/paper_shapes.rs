@@ -1,10 +1,16 @@
 //! Shape assertions from the paper's evaluation, checked end-to-end at
 //! reduced scale. Full-scale numbers live in EXPERIMENTS.md; these tests
 //! pin the *directions* that must not regress.
+//!
+//! Traces come from the process-wide cache ([`spec95::cached`]) and the
+//! multi-benchmark loops fan out over [`run_parallel`], so the binary's
+//! wall clock is bounded by the slowest single simulation rather than
+//! the sum of all of them.
 
 use ev8_core::{Ev8Config, Ev8Predictor, HistoryMode};
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig, UpdatePolicy};
 use ev8_sim::simulate;
+use ev8_sim::sweep::{default_workers, run_parallel};
 use ev8_workloads::spec95;
 
 #[test]
@@ -12,14 +18,22 @@ fn ev8_constraints_cost_little() {
     // §8.5 headline: "the 352 Kbits Alpha EV8 branch predictor stands the
     // comparison against a 512 Kbits 2Bc-gskew predictor using
     // conventional branch history."
-    let mut ev8_total = 0.0;
-    let mut unconstrained_total = 0.0;
-    for name in ["compress", "li", "m88ksim", "vortex"] {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.01);
-        ev8_total += simulate(Ev8Predictor::ev8(), &trace).misp_per_ki();
-        unconstrained_total +=
-            simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace).misp_per_ki();
-    }
+    let jobs: Vec<Box<dyn FnOnce() -> (f64, f64) + Send>> = ["compress", "li", "m88ksim", "vortex"]
+        .into_iter()
+        .map(|name| {
+            Box::new(move || {
+                let trace = spec95::cached(name, 0.01).unwrap();
+                let ev8 = simulate(Ev8Predictor::ev8(), &trace).misp_per_ki();
+                let unconstrained =
+                    simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace)
+                        .misp_per_ki();
+                (ev8, unconstrained)
+            }) as Box<dyn FnOnce() -> (f64, f64) + Send>
+        })
+        .collect();
+    let (ev8_total, unconstrained_total) = run_parallel(jobs, default_workers())
+        .into_iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
     assert!(
         ev8_total <= unconstrained_total * 1.25 + 1.0,
         "EV8 (sum {ev8_total:.2}) should stand comparison with the \
@@ -33,18 +47,34 @@ fn partial_update_beats_total_update() {
     // prediction accuracy than total update policy."
     // Partial update's benefit is a steady-state effect (better space
     // utilization under aliasing); short cold runs favour total update,
-    // so this test runs at a fifth of the paper's trace length.
+    // so this test runs at a fifth of the paper's trace length. One job
+    // per (benchmark, policy) pair: these are the suite's longest
+    // simulations, so they get the finest fan-out.
+    let jobs: Vec<Box<dyn FnOnce() -> (bool, u64) + Send>> = ["gcc", "vortex", "li"]
+        .into_iter()
+        .flat_map(|name| {
+            [false, true].into_iter().map(move |total_policy| {
+                Box::new(move || {
+                    let trace = spec95::cached(name, 0.2).unwrap();
+                    let config = if total_policy {
+                        TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total)
+                    } else {
+                        TwoBcGskewConfig::size_512k()
+                    };
+                    let misses = simulate(TwoBcGskew::new(config), &trace).mispredictions;
+                    (total_policy, misses)
+                }) as Box<dyn FnOnce() -> (bool, u64) + Send>
+            })
+        })
+        .collect();
     let mut partial_total = 0u64;
     let mut total_total = 0u64;
-    for name in ["gcc", "vortex", "li"] {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.2);
-        partial_total +=
-            simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).mispredictions;
-        total_total += simulate(
-            TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total)),
-            &trace,
-        )
-        .mispredictions;
+    for (total_policy, misses) in run_parallel(jobs, default_workers()) {
+        if total_policy {
+            total_total += misses;
+        } else {
+            partial_total += misses;
+        }
     }
     assert!(
         partial_total < total_total,
@@ -56,7 +86,7 @@ fn partial_update_beats_total_update() {
 fn half_hysteresis_is_nearly_free() {
     // Fig 8: "the effect of using half size hysteresis tables for G0 and
     // Meta is barely noticeable" (except on go).
-    let trace = spec95::benchmark("vortex").unwrap().generate_scaled(0.2);
+    let trace = spec95::cached("vortex", 0.2).unwrap();
     let full = simulate(
         TwoBcGskew::new(TwoBcGskewConfig::size_512k_small_bim()),
         &trace,
@@ -75,7 +105,7 @@ fn half_hysteresis_is_nearly_free() {
 fn long_history_beats_log2_history() {
     // §5.3 / Fig 6: history longer than log2(entries) pays off. Checked
     // on the correlation-heavy li analogue.
-    let trace = spec95::benchmark("li").unwrap().generate_scaled(0.2);
+    let trace = spec95::cached("li", 0.2).unwrap();
     let best = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace);
     let log2 = simulate(
         TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_history_lengths(0, 16, 16, 16)),
@@ -93,18 +123,25 @@ fn long_history_beats_log2_history() {
 fn lghist_is_competitive_with_ghist() {
     // Fig 7: "quite surprisingly, lghist has same performance as
     // conventional branch history."
-    let mut lghist_total = 0.0;
-    let mut ghist_total = 0.0;
-    for name in ["compress", "m88ksim", "vortex"] {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.01);
-        lghist_total += simulate(
-            Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
-            &trace,
-        )
-        .misp_per_ki();
-        ghist_total +=
-            simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace).misp_per_ki();
-    }
+    let jobs: Vec<Box<dyn FnOnce() -> (f64, f64) + Send>> = ["compress", "m88ksim", "vortex"]
+        .into_iter()
+        .map(|name| {
+            Box::new(move || {
+                let trace = spec95::cached(name, 0.01).unwrap();
+                let lghist = simulate(
+                    Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
+                    &trace,
+                )
+                .misp_per_ki();
+                let ghist = simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace)
+                    .misp_per_ki();
+                (lghist, ghist)
+            }) as Box<dyn FnOnce() -> (f64, f64) + Send>
+        })
+        .collect();
+    let (lghist_total, ghist_total) = run_parallel(jobs, default_workers())
+        .into_iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
     assert!(
         lghist_total <= ghist_total * 1.2 + 0.5,
         "lghist ({lghist_total:.2}) should be competitive with ghist ({ghist_total:.2})"
@@ -115,7 +152,7 @@ fn lghist_is_competitive_with_ghist() {
 fn three_old_history_loss_is_limited() {
     // Fig 7: "using three fetch blocks old history slightly degrades the
     // accuracy of the predictor, but the impact is limited."
-    let trace = spec95::benchmark("m88ksim").unwrap().generate_scaled(0.02);
+    let trace = spec95::cached("m88ksim", 0.02).unwrap();
     let immediate = simulate(
         Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
         &trace,
@@ -137,10 +174,19 @@ fn three_old_history_loss_is_limited() {
 fn go_is_the_hardest_benchmark() {
     // Table 2 / Fig 5: go has the largest footprint and weakest biases;
     // it must be the worst-predicted benchmark, as in the paper.
+    let jobs: Vec<Box<dyn FnOnce() -> (&'static str, f64) + Send>> = spec95::NAMES
+        .into_iter()
+        .map(|name| {
+            Box::new(move || {
+                let trace = spec95::cached(name, 0.005).unwrap();
+                let m =
+                    simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).misp_per_ki();
+                (name, m)
+            }) as Box<dyn FnOnce() -> (&'static str, f64) + Send>
+        })
+        .collect();
     let mut worst = ("", 0.0f64);
-    for name in spec95::NAMES {
-        let trace = spec95::benchmark(name).unwrap().generate_scaled(0.005);
-        let m = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).misp_per_ki();
+    for (name, m) in run_parallel(jobs, default_workers()) {
         if m > worst.1 {
             worst = (name, m);
         }

@@ -10,6 +10,7 @@ use ev8_util::{prop_assert, prop_assert_eq, prop_assert_ne};
 
 use ev8_core::banks::{bank_for, BankSequencer};
 use ev8_core::fetch::FetchState;
+use ev8_predictors::bitvec::{BitVec, Counter2Table};
 use ev8_predictors::counter::Counter2;
 use ev8_predictors::history::GlobalHistory;
 use ev8_predictors::skew::{h_inverse, h_transform, skew_index, xor_fold};
@@ -126,6 +127,154 @@ fn split_table_matches_dense_counters() {
         }
         for (i, d) in dense.iter().enumerate() {
             prop_assert_eq!(&table.read(i), d);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn bitvec_matches_byte_vector() {
+    check("bitvec_matches_byte_vector", CASES, |g| {
+        let len = g.len(1..200);
+        let fill = u8::from(g.bool());
+        let mut packed = BitVec::filled(len, fill);
+        let mut bytes = vec![fill; len];
+        let ops = g.vec(0..300, |g| (g.range(0usize..len), g.bool()));
+        for &(idx, bit) in &ops {
+            packed.set(idx, u8::from(bit));
+            bytes[idx] = u8::from(bit);
+            prop_assert_eq!(packed.get(idx), bytes[idx]);
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), b);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn packed_counter_table_matches_byte_reference() {
+    check("packed_counter_table_matches_byte_reference", CASES, |g| {
+        let index_bits = g.range(1u32..=7);
+        let entries = 1usize << index_bits;
+        let mut packed = Counter2Table::new(index_bits);
+        let mut dense = vec![Counter2::default(); entries];
+        let ops = g.vec(0..300, |g| {
+            (g.range(0usize..entries), g.range(0u8..3), g.bool())
+        });
+        for &(idx, op, taken) in &ops {
+            match op {
+                0 => {
+                    packed.train(idx, Outcome::from(taken));
+                    dense[idx].train(Outcome::from(taken));
+                }
+                1 => {
+                    packed.strengthen(idx);
+                    dense[idx].strengthen();
+                }
+                _ => {
+                    let c = Counter2::new(u8::from(taken) * 3);
+                    packed.set(idx, c);
+                    dense[idx] = c;
+                }
+            }
+            prop_assert_eq!(&packed.get(idx), &dense[idx]);
+        }
+        for (i, d) in dense.iter().enumerate() {
+            prop_assert_eq!(&packed.get(i), d);
+        }
+        Ok(())
+    });
+}
+
+/// A byte-per-bit reference model of [`SplitCounterTable`] with the
+/// documented write-enable semantics: each array's write counter moves
+/// only when its stored bit actually changes.
+struct ByteSplitTable {
+    prediction: Vec<u8>,
+    hysteresis: Vec<u8>,
+    mask: usize,
+    prediction_writes: u64,
+    hysteresis_writes: u64,
+}
+
+impl ByteSplitTable {
+    fn new(index_bits: u32, hysteresis_index_bits: u32) -> Self {
+        ByteSplitTable {
+            prediction: vec![0; 1 << index_bits],
+            hysteresis: vec![1; 1 << hysteresis_index_bits],
+            mask: (1 << hysteresis_index_bits) - 1,
+            prediction_writes: 0,
+            hysteresis_writes: 0,
+        }
+    }
+
+    fn read(&self, index: usize) -> Counter2 {
+        Counter2::from_split(self.prediction[index], self.hysteresis[index & self.mask])
+    }
+
+    fn store(&mut self, index: usize, c: Counter2) {
+        if self.prediction[index] != c.prediction_bit() {
+            self.prediction[index] = c.prediction_bit();
+            self.prediction_writes += 1;
+        }
+        let h = index & self.mask;
+        if self.hysteresis[h] != c.hysteresis_bits() {
+            self.hysteresis[h] = c.hysteresis_bits();
+            self.hysteresis_writes += 1;
+        }
+    }
+
+    fn train(&mut self, index: usize, outcome: Outcome) {
+        let mut c = self.read(index);
+        c.train(outcome);
+        self.store(index, c);
+    }
+
+    fn strengthen(&mut self, index: usize) {
+        let mut c = self.read(index);
+        c.strengthen();
+        self.store(index, c);
+    }
+}
+
+#[test]
+fn packed_split_table_matches_byte_reference() {
+    check("packed_split_table_matches_byte_reference", CASES, |g| {
+        // Random geometry including half-size (aliased) hysteresis, the
+        // §4.4 sharing scenario: several prediction entries contend for
+        // one hysteresis bit, so any packing slip shows up fast.
+        let index_bits = g.range(2u32..=6);
+        let hyst_bits = g.range(1u32..=index_bits);
+        let entries = 1usize << index_bits;
+        let mut packed = SplitCounterTable::new(index_bits, hyst_bits);
+        let mut bytes = ByteSplitTable::new(index_bits, hyst_bits);
+        let ops = g.vec(0..300, |g| {
+            (g.range(0usize..entries), g.range(0u8..3), g.range(0u8..4))
+        });
+        for &(idx, op, val) in &ops {
+            match op {
+                0 => {
+                    let o = Outcome::from(val & 1 == 1);
+                    packed.train(idx, o);
+                    bytes.train(idx, o);
+                }
+                1 => {
+                    packed.strengthen(idx);
+                    bytes.strengthen(idx);
+                }
+                _ => {
+                    let c = Counter2::new(val);
+                    packed.write(idx, c);
+                    bytes.store(idx, c);
+                }
+            }
+            prop_assert_eq!(&packed.read(idx), &bytes.read(idx));
+            prop_assert_eq!(packed.prediction_writes(), bytes.prediction_writes);
+            prop_assert_eq!(packed.hysteresis_writes(), bytes.hysteresis_writes);
+        }
+        for i in 0..entries {
+            prop_assert_eq!(&packed.read(i), &bytes.read(i));
         }
         Ok(())
     });

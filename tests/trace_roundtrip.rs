@@ -12,14 +12,14 @@ use ev8_workloads::spec95;
 
 #[test]
 fn file_roundtrip_preserves_trace_and_results() {
-    let trace = spec95::benchmark("ijpeg").unwrap().generate_scaled(0.005);
+    let trace = spec95::cached("ijpeg", 0.005).unwrap();
     let path = std::env::temp_dir().join("ev8_test_roundtrip.ev8t");
 
     codec::write_trace(BufWriter::new(File::create(&path).unwrap()), &trace).unwrap();
     let reloaded = codec::read_trace(BufReader::new(File::open(&path).unwrap())).unwrap();
     std::fs::remove_file(&path).ok();
 
-    assert_eq!(reloaded, trace);
+    assert_eq!(reloaded, *trace);
     let before = simulate(Ev8Predictor::ev8(), &trace);
     let after = simulate(Ev8Predictor::ev8(), &reloaded);
     assert_eq!(before.mispredictions, after.mispredictions);
@@ -27,7 +27,7 @@ fn file_roundtrip_preserves_trace_and_results() {
 
 #[test]
 fn codec_is_compact_on_real_workloads() {
-    let trace = spec95::benchmark("gcc").unwrap().generate_scaled(0.005);
+    let trace = spec95::cached("gcc", 0.005).unwrap();
     let mut buf = Vec::new();
     codec::write_trace(&mut buf, &trace).unwrap();
     let bytes_per_record = buf.len() as f64 / trace.len() as f64;
@@ -41,7 +41,7 @@ fn codec_is_compact_on_real_workloads() {
 
 #[test]
 fn stats_survive_roundtrip() {
-    let trace = spec95::benchmark("go").unwrap().generate_scaled(0.002);
+    let trace = spec95::cached("go", 0.002).unwrap();
     let mut buf = Vec::new();
     codec::write_trace(&mut buf, &trace).unwrap();
     let reloaded = codec::read_trace(&mut buf.as_slice()).unwrap();
