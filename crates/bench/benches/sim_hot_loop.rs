@@ -16,6 +16,14 @@
 //! is expected to be near 1 (packing trades a little shift/mask work
 //! for an 8x smaller resident footprint), and is recorded so either
 //! side regressing badly is visible.
+//!
+//! A fourth group guards the fault-injection subsystem's zero-cost
+//! claim: fault hooks are a *separate entry point*
+//! (`simulate_with_faults`), so the plain `simulate` hot loop carries no
+//! disabled-hook cost by construction — `fault_hook_disabled_ns` (plain
+//! `simulate` on the same predictor/trace) must stay in family with
+//! `simulate_ev8_ns` history, and `fault_hook_zero_rate_ns` records what
+//! an armed-but-rate-0 injector costs (one RNG draw per branch).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,9 +32,11 @@ use ev8_util::bench::{black_box, Harness, Measurement};
 use ev8_util::json::JsonObject;
 
 use ev8_core::Ev8Predictor;
+use ev8_faults::FaultPlan;
 use ev8_predictors::counter::Counter2;
 use ev8_predictors::table::SplitCounterTable;
-use ev8_sim::simulator::simulate;
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+use ev8_sim::simulator::{simulate, simulate_with_faults};
 use ev8_trace::{Outcome, Trace};
 use ev8_workloads::spec95;
 
@@ -184,6 +194,32 @@ fn main() {
         group.finish();
     }
 
+    let mut hook_disabled = None;
+    let mut hook_zero_rate = None;
+    {
+        let mut group = h.group("fault_hook");
+        group.throughput(trace.conditional_count());
+        group.sample_size(10);
+        // Same predictor, same trace: "disabled" is the plain `simulate`
+        // loop (no injector exists at all); "zero_rate" is the faulted
+        // entry point with a rate-0 plan (injector armed, never firing).
+        group.bench("disabled_plain_simulate", |b| {
+            b.iter(|| simulate(TwoBcGskew::new(TwoBcGskewConfig::ev8_size()), &trace));
+            hook_disabled = b.measurement().cloned();
+        });
+        group.bench("zero_rate_injector", |b| {
+            b.iter(|| {
+                simulate_with_faults(
+                    TwoBcGskew::new(TwoBcGskewConfig::ev8_size()),
+                    &trace,
+                    FaultPlan::seu(0.0),
+                )
+            });
+            hook_zero_rate = b.measurement().cloned();
+        });
+        group.finish();
+    }
+
     let (fresh_ns, cached_ns) = (median_ns(&fresh), median_ns(&cached));
     let (bytes_ns, packed_ns) = (median_ns(&bytes), median_ns(&packed));
     let mut out = JsonObject::new();
@@ -201,6 +237,12 @@ fn main() {
             "simulate_branches_per_sec",
             &(trace.conditional_count() as f64
                 / Duration::from_nanos(median_ns(&sim).max(1)).as_secs_f64()),
+        )
+        .field("fault_hook_disabled_ns", &median_ns(&hook_disabled))
+        .field("fault_hook_zero_rate_ns", &median_ns(&hook_zero_rate))
+        .field(
+            "fault_hook_zero_rate_overhead",
+            &ratio(median_ns(&hook_zero_rate), median_ns(&hook_disabled)),
         );
     let json = out.finish();
     // `EV8_BENCH_JSON` redirects the output (the CI smoke run points it

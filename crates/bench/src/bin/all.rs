@@ -39,4 +39,10 @@ fn main() {
         workers,
     ));
     emit(ev8_sim::experiments::update_traffic::report(scale, workers));
+    // The SEU grid is benchmarks x rates x targets: run it at a reduced
+    // scale to keep the full-evaluation wall clock in budget.
+    emit(ev8_sim::experiments::seu::report(
+        (scale * 0.1).max(0.002),
+        workers,
+    ));
 }

@@ -1,0 +1,10 @@
+//! Soft-error resilience study: misp/KI vs per-branch SEU rate, with
+//! prediction-targeted and hysteresis-targeted columns (§4.3-4.4
+//! robustness extension).
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("SEU resilience", scale);
+    println!("{}", ev8_sim::experiments::seu::report(scale, workers));
+}

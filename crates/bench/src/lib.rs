@@ -8,6 +8,7 @@
 //! cargo run --release -p ev8-bench --bin table3
 //! cargo run --release -p ev8-bench --bin fig5        # ... fig6..fig10
 //! cargo run --release -p ev8-bench --bin delayed_update
+//! cargo run --release -p ev8-bench --bin seu         # soft-error resilience
 //! cargo run --release -p ev8-bench --bin all         # everything
 //! ```
 //!

@@ -1,0 +1,146 @@
+//! Fault taxonomy: what to inject, where, and how often.
+
+use ev8_predictors::introspect::ArrayClass;
+
+/// The physical fault models the injector can apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Single-event upset: one stored bit inverts. The dominant soft-error
+    /// mode for SRAM cells.
+    BitFlip,
+    /// A cell reads as 0 regardless of what was written (evaluated once
+    /// per injection: the bit is forced to 0 at that instant).
+    StuckAt0,
+    /// A cell reads as 1 (forced to 1 at injection time).
+    StuckAt1,
+    /// A whole 64-bit RAM row inverts at once — the multi-bit burst mode
+    /// of a single energetic strike across adjacent cells.
+    WordBurst,
+}
+
+/// Which of a target's named arrays a plan may hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArraySelector {
+    /// Every array the target exposes.
+    All,
+    /// Only arrays of one physical class — e.g. only
+    /// [`ArrayClass::Hysteresis`], to measure §4.3's claim that shared
+    /// hysteresis damage degrades more gracefully than prediction-bit
+    /// damage.
+    Class(ArrayClass),
+    /// A single array by its exact name (e.g. `"g0.prediction"`).
+    Named(&'static str),
+}
+
+impl ArraySelector {
+    /// Whether an array with this name/class is eligible under the
+    /// selector.
+    pub fn matches(&self, name: &str, class: ArrayClass) -> bool {
+        match self {
+            ArraySelector::All => true,
+            ArraySelector::Class(c) => *c == class,
+            ArraySelector::Named(n) => *n == name,
+        }
+    }
+}
+
+/// A complete, reproducible fault-injection plan.
+///
+/// `rate` is the probability of injecting one fault per
+/// [`step`](crate::FaultInjector::step) (one step per predicted branch in
+/// the simulator). The injector draws from its RNG every step regardless
+/// of the rate, so two plans differing only in `rate` see the *same*
+/// random stream — sweeps across rates are paired, which removes one
+/// noise source from degradation curves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability of one fault per step, clamped to `[0, 1]` at use.
+    pub rate: f64,
+    /// The physical fault model.
+    pub kind: FaultKind,
+    /// Which arrays may be hit.
+    pub target: ArraySelector,
+    /// Seed for the injection stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A single-event-upset plan over all arrays at the given per-branch
+    /// rate, seed 0.
+    pub const fn seu(rate: f64) -> Self {
+        FaultPlan {
+            rate,
+            kind: FaultKind::BitFlip,
+            target: ArraySelector::All,
+            seed: 0,
+        }
+    }
+
+    /// A stuck-at plan (`value` = 0 or 1) over all arrays.
+    pub const fn stuck_at(rate: f64, value: u8) -> Self {
+        FaultPlan {
+            rate,
+            kind: if value == 0 {
+                FaultKind::StuckAt0
+            } else {
+                FaultKind::StuckAt1
+            },
+            target: ArraySelector::All,
+            seed: 0,
+        }
+    }
+
+    /// A 64-bit word-burst plan over all arrays.
+    pub const fn bursts(rate: f64) -> Self {
+        FaultPlan {
+            rate,
+            kind: FaultKind::WordBurst,
+            target: ArraySelector::All,
+            seed: 0,
+        }
+    }
+
+    /// Returns the plan restricted to `selector`.
+    pub const fn targeting(mut self, selector: ArraySelector) -> Self {
+        self.target = selector;
+        self
+    }
+
+    /// Returns the plan with the given seed.
+    pub const fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_match_expected_arrays() {
+        assert!(ArraySelector::All.matches("anything", ArrayClass::Counter));
+        assert!(ArraySelector::Class(ArrayClass::Hysteresis).matches("x", ArrayClass::Hysteresis));
+        assert!(!ArraySelector::Class(ArrayClass::Hysteresis).matches("x", ArrayClass::Prediction));
+        assert!(
+            ArraySelector::Named("g0.prediction").matches("g0.prediction", ArrayClass::Prediction)
+        );
+        assert!(
+            !ArraySelector::Named("g0.prediction").matches("g1.prediction", ArrayClass::Prediction)
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = FaultPlan::seu(0.25)
+            .targeting(ArraySelector::Class(ArrayClass::Prediction))
+            .with_seed(7);
+        assert_eq!(p.kind, FaultKind::BitFlip);
+        assert_eq!(p.rate, 0.25);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.target, ArraySelector::Class(ArrayClass::Prediction));
+        assert_eq!(FaultPlan::stuck_at(0.1, 0).kind, FaultKind::StuckAt0);
+        assert_eq!(FaultPlan::stuck_at(0.1, 1).kind, FaultKind::StuckAt1);
+        assert_eq!(FaultPlan::bursts(0.1).kind, FaultKind::WordBurst);
+    }
+}

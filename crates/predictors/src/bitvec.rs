@@ -86,6 +86,53 @@ impl BitVec {
         let word = &mut self.words[index >> 6];
         *word = (*word & !mask) | ((bit as u64) << (index & 63));
     }
+
+    /// Inverts the bit at `index` — the single-event-upset (SEU) fault
+    /// primitive. A soft error in an SRAM cell is exactly one inverted
+    /// bit; predictor state is speculative, so a flip can only cost extra
+    /// mispredictions, never correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of bounds");
+        self.words[index >> 6] ^= 1u64 << (index & 63);
+    }
+
+    /// Number of backing `u64` words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Mutable access to a backing word (for multi-bit burst faults).
+    /// Bits of the final word beyond `len()` are unused padding; writers
+    /// may scribble on them, readers never observe them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds.
+    pub fn word_mut(&mut self, word: usize) -> &mut u64 {
+        &mut self.words[word]
+    }
+
+    /// Inverts every *live* bit of backing word `word` — the whole-row
+    /// burst fault model (a particle strike taking out a full 64-bit RAM
+    /// row). Padding bits past `len()` are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds.
+    pub fn flip_word(&mut self, word: usize) {
+        let live = self.len - (word << 6).min(self.len);
+        let mask = if live >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << live) - 1
+        };
+        self.words[word] ^= mask;
+    }
 }
 
 /// A table of 2-bit saturating counters packed 32 per `u64` word — the
@@ -180,6 +227,61 @@ impl Counter2Table {
     pub fn iter(&self) -> impl Iterator<Item = Counter2> + '_ {
         (0..self.entries).map(|i| self.get(i))
     }
+
+    /// Number of storage bits (2 per counter) — the fault-injection
+    /// address space of this table.
+    pub fn bit_len(&self) -> usize {
+        self.entries * 2
+    }
+
+    /// Inverts storage bit `bit` (counter `bit / 2`, low hysteresis-like
+    /// bit when `bit` is even, high prediction-like bit when odd) — the
+    /// SEU fault primitive over the packed counter array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bit_len()`.
+    #[inline]
+    pub fn flip_bit(&mut self, bit: usize) {
+        assert!(bit < self.bit_len(), "storage bit {bit} out of bounds");
+        self.words[bit >> 6] ^= 1u64 << (bit & 63);
+    }
+
+    /// Forces storage bit `bit` to `value` (the stuck-at fault model,
+    /// evaluated once at injection time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bit_len()` or `value` is not 0 or 1.
+    #[inline]
+    pub fn set_bit(&mut self, bit: usize, value: u8) {
+        assert!(bit < self.bit_len(), "storage bit {bit} out of bounds");
+        assert!(value <= 1, "bit value must be 0 or 1");
+        let mask = 1u64 << (bit & 63);
+        let word = &mut self.words[bit >> 6];
+        *word = (*word & !mask) | ((value as u64) << (bit & 63));
+    }
+
+    /// Number of backing `u64` words (32 counters each).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Inverts every live bit of backing word `word` — the 64-bit burst
+    /// fault model (32 adjacent counters scrambled at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds.
+    pub fn flip_word(&mut self, word: usize) {
+        let live = self.bit_len() - (word << 6).min(self.bit_len());
+        let mask = if live >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << live) - 1
+        };
+        self.words[word] ^= mask;
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +330,46 @@ mod tests {
         for i in 0..200 {
             assert_eq!(v.get(i), u8::from(i % 7 == 0));
         }
+    }
+
+    #[test]
+    fn bitvec_flip_is_involutive_and_isolated() {
+        let mut v = BitVec::filled(130, 0);
+        v.flip(77);
+        assert_eq!(v.get(77), 1);
+        assert_eq!(v.get(76), 0);
+        assert_eq!(v.get(78), 0);
+        v.flip(77);
+        assert_eq!(v.get(77), 0);
+    }
+
+    #[test]
+    fn bitvec_flip_word_masks_padding() {
+        // 70 bits: word 1 holds only 6 live bits; flipping it must not
+        // disturb word 0 and must leave padding bits alone (observable
+        // only through get(), which masks them anyway — check live bits).
+        let mut v = BitVec::filled(70, 0);
+        assert_eq!(v.word_count(), 2);
+        v.flip_word(1);
+        for i in 0..64 {
+            assert_eq!(v.get(i), 0);
+        }
+        for i in 64..70 {
+            assert_eq!(v.get(i), 1);
+        }
+        v.flip_word(0);
+        for i in 0..64 {
+            assert_eq!(v.get(i), 1);
+        }
+        // word_mut gives raw burst access.
+        *v.word_mut(0) = 0;
+        assert_eq!(v.get(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bitvec_flip_bounds_checked() {
+        BitVec::filled(10, 0).flip(10);
     }
 
     #[test]
@@ -292,6 +434,44 @@ mod tests {
         assert_eq!(t.get(17).value(), 3);
         assert_eq!(t.get(16).value(), 1);
         assert_eq!(t.get(18).value(), 1);
+    }
+
+    #[test]
+    fn counter_table_bit_faults_map_to_counter_lanes() {
+        let mut t = Counter2Table::new(6); // 64 counters, all 0b01
+        assert_eq!(t.bit_len(), 128);
+        assert_eq!(t.word_count(), 2);
+        // Counter 17 occupies bits 34 (low) and 35 (high).
+        t.flip_bit(35);
+        assert_eq!(t.get(17).value(), 0b11);
+        assert_eq!(t.get(16).value(), 0b01);
+        assert_eq!(t.get(18).value(), 0b01);
+        t.flip_bit(34);
+        assert_eq!(t.get(17).value(), 0b10);
+        // Stuck-at writes are idempotent.
+        t.set_bit(34, 0);
+        t.set_bit(34, 0);
+        assert_eq!(t.get(17).value(), 0b10);
+        t.set_bit(34, 1);
+        assert_eq!(t.get(17).value(), 0b11);
+    }
+
+    #[test]
+    fn counter_table_word_burst_inverts_32_counters() {
+        let mut t = Counter2Table::new(6); // weakly-NT fill 0b01 everywhere
+        t.flip_word(1);
+        for i in 0..32 {
+            assert_eq!(t.get(i).value(), 0b01, "word 0 untouched");
+        }
+        for i in 32..64 {
+            assert_eq!(t.get(i).value(), 0b10, "word 1 inverted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn counter_table_flip_bit_bounds_checked() {
+        Counter2Table::new(4).flip_bit(32);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use ev8_trace::{Outcome, Pc};
 
 use crate::bitvec::Counter2Table;
 use crate::history::GlobalHistory;
+use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
 use crate::skew::InfoVector;
 
@@ -125,6 +126,38 @@ impl BranchPredictor for EGskew {
 
     fn storage_bits(&self) -> u64 {
         3 * self.bim.entries() as u64 * 2
+    }
+}
+
+impl EGskew {
+    fn bank_mut(&mut self, array: usize) -> &mut Counter2Table {
+        match array {
+            0 => &mut self.bim,
+            1 => &mut self.g0,
+            2 => &mut self.g1,
+            _ => panic!("e-gskew has three arrays"),
+        }
+    }
+}
+
+impl FaultTarget for EGskew {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        let mut arrays = prefixed(self.bim.fault_arrays(), &["bim.counters"]);
+        arrays.extend(prefixed(self.g0.fault_arrays(), &["g0.counters"]));
+        arrays.extend(prefixed(self.g1.fault_arrays(), &["g1.counters"]));
+        arrays
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        FaultTarget::flip_bit(self.bank_mut(array), 0, bit);
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        FaultTarget::force_bit(self.bank_mut(array), 0, bit, value);
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        FaultTarget::flip_word(self.bank_mut(array), 0, word);
     }
 }
 

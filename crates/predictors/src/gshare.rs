@@ -8,6 +8,7 @@ use ev8_trace::{Outcome, Pc};
 
 use crate::bitvec::Counter2Table;
 use crate::history::GlobalHistory;
+use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
 use crate::skew::xor_fold;
 
@@ -85,6 +86,24 @@ impl BranchPredictor for Gshare {
 
     fn storage_bits(&self) -> u64 {
         self.table.entries() as u64 * 2
+    }
+}
+
+impl FaultTarget for Gshare {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        prefixed(self.table.fault_arrays(), &["gshare.counters"])
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        FaultTarget::flip_bit(&mut self.table, array, bit);
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        FaultTarget::force_bit(&mut self.table, array, bit, value);
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        FaultTarget::flip_word(&mut self.table, array, word);
     }
 }
 

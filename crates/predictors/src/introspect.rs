@@ -1,0 +1,226 @@
+//! Fault-injection introspection over predictor state.
+//!
+//! The EV8 predictor is 352 Kbit of single-ported RAM cells — exactly the
+//! structure soft errors hit in silicon. Because predictor state is purely
+//! speculative, a corrupted cell can never produce incorrect execution,
+//! only extra mispredictions; the interesting question is *how gracefully*
+//! accuracy degrades, and whether the paper's own mechanisms (2-bit
+//! hysteresis, shared half-size hysteresis arrays of §4.3-4.4, partial
+//! update of §4.2) absorb upsets as well as they absorb aliasing.
+//!
+//! [`FaultTarget`] exposes a predictor's named bit arrays to an external
+//! fault engine (`ev8-faults`) without perturbing the prediction path: the
+//! trait adds *no* state, *no* indirection and *no* branches to the
+//! bit-packed read/train methods — it is a parallel, injection-only view.
+//! When no fault engine is driving it, the predictor's code paths are
+//! byte-for-byte what they were before this trait existed.
+
+use crate::bitvec::Counter2Table;
+use crate::table::SplitCounterTable;
+
+/// The physical role of a bit array inside a predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayClass {
+    /// A fetch-critical prediction-bit array (the EV8's split tables).
+    Prediction,
+    /// A hysteresis-bit array (possibly shared/half-size, §4.3).
+    Hysteresis,
+    /// A packed 2-bit-counter array (the classic unified schemes).
+    Counter,
+}
+
+/// One named bit array exposed for fault injection.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayInfo {
+    /// Stable name, e.g. `"g0.prediction"`.
+    pub name: &'static str,
+    /// Physical role of the array.
+    pub class: ArrayClass,
+    /// Number of addressable bits.
+    pub bits: usize,
+}
+
+impl ArrayInfo {
+    /// Number of backing 64-bit words (burst-fault address space).
+    pub fn words(&self) -> usize {
+        self.bits.div_ceil(64)
+    }
+}
+
+/// A structure whose bit arrays can suffer injected faults.
+///
+/// Arrays are addressed by their position in
+/// [`fault_arrays`](FaultTarget::fault_arrays); bits by their index within
+/// the array. All three mutators model *soft errors*, not logical writes:
+/// implementations bypass any write accounting, and out-of-range
+/// array/bit indices panic (injection plans are derived from
+/// `fault_arrays`, so an out-of-range address is an engine bug, not a
+/// recoverable condition).
+pub trait FaultTarget {
+    /// The named arrays, in a stable order.
+    fn fault_arrays(&self) -> Vec<ArrayInfo>;
+
+    /// Inverts bit `bit` of array `array` (single-event upset).
+    fn flip_bit(&mut self, array: usize, bit: usize);
+
+    /// Forces bit `bit` of array `array` to `value` (stuck-at fault,
+    /// evaluated once at injection time).
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8);
+
+    /// Inverts all live bits of 64-bit word `word` of array `array`
+    /// (burst fault — a whole RAM row upset at once).
+    fn flip_word(&mut self, array: usize, word: usize);
+}
+
+impl FaultTarget for Counter2Table {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        vec![ArrayInfo {
+            name: "counters",
+            class: ArrayClass::Counter,
+            bits: self.bit_len(),
+        }]
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        assert_eq!(array, 0, "Counter2Table has one array");
+        Counter2Table::flip_bit(self, bit);
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        assert_eq!(array, 0, "Counter2Table has one array");
+        self.set_bit(bit, value);
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        assert_eq!(array, 0, "Counter2Table has one array");
+        Counter2Table::flip_word(self, word);
+    }
+}
+
+impl FaultTarget for SplitCounterTable {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        vec![
+            ArrayInfo {
+                name: "prediction",
+                class: ArrayClass::Prediction,
+                bits: self.entries(),
+            },
+            ArrayInfo {
+                name: "hysteresis",
+                class: ArrayClass::Hysteresis,
+                bits: self.hysteresis_entries(),
+            },
+        ]
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        match array {
+            0 => self.prediction_array_mut().flip(bit),
+            1 => self.hysteresis_array_mut().flip(bit),
+            _ => panic!("SplitCounterTable has two arrays"),
+        }
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        match array {
+            0 => self.prediction_array_mut().set(bit, value),
+            1 => self.hysteresis_array_mut().set(bit, value),
+            _ => panic!("SplitCounterTable has two arrays"),
+        }
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        match array {
+            0 => self.prediction_array_mut().flip_word(word),
+            1 => self.hysteresis_array_mut().flip_word(word),
+            _ => panic!("SplitCounterTable has two arrays"),
+        }
+    }
+}
+
+/// Renames the arrays of a component table with a `prefix.` — used by the
+/// multi-table predictors so `"g0"` + `"prediction"` surfaces as
+/// `"g0.prediction"` without allocating at injection time (names must be
+/// `'static`, so the combined names are interned per call site).
+pub(crate) fn prefixed(infos: Vec<ArrayInfo>, names: &'static [&'static str]) -> Vec<ArrayInfo> {
+    assert_eq!(
+        infos.len(),
+        names.len(),
+        "one combined name per component array"
+    );
+    infos
+        .into_iter()
+        .zip(names)
+        .map(|(info, &name)| ArrayInfo { name, ..info })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Counter2;
+    use ev8_trace::Outcome;
+
+    #[test]
+    fn counter_table_exposes_one_array() {
+        let mut t = Counter2Table::new(5);
+        let arrays = t.fault_arrays();
+        assert_eq!(arrays.len(), 1);
+        assert_eq!(arrays[0].bits, 64);
+        assert_eq!(arrays[0].words(), 1);
+        assert_eq!(arrays[0].class, ArrayClass::Counter);
+        // Flip the high (prediction) bit of counter 3 via the trait.
+        FaultTarget::flip_bit(&mut t, 0, 7);
+        assert_eq!(t.get(3).value(), 0b11);
+        FaultTarget::force_bit(&mut t, 0, 7, 0);
+        assert_eq!(t.get(3).value(), 0b01);
+    }
+
+    #[test]
+    fn split_table_arrays_are_independent_address_spaces() {
+        let mut t = SplitCounterTable::new(4, 3);
+        let arrays = t.fault_arrays();
+        assert_eq!(arrays[0].bits, 16);
+        assert_eq!(arrays[1].bits, 8);
+        // Initial counter: pred 0, hyst 1 (weakly not taken).
+        FaultTarget::flip_bit(&mut t, 0, 5);
+        assert_eq!(t.read(5).value(), 0b11, "prediction bit flipped");
+        FaultTarget::flip_bit(&mut t, 1, 5 & 0b111);
+        assert_eq!(t.read(5).value(), 0b10, "shared hysteresis bit flipped");
+        // Entry 13 shares hysteresis bit 5 with entry 5.
+        assert_eq!(t.read(13).hysteresis_bits(), 0);
+    }
+
+    #[test]
+    fn faults_bypass_write_accounting() {
+        let mut t = SplitCounterTable::full(4);
+        t.train(2, Outcome::Taken);
+        let before = (t.prediction_writes(), t.hysteresis_writes());
+        FaultTarget::flip_bit(&mut t, 0, 2);
+        FaultTarget::flip_word(&mut t, 1, 0);
+        FaultTarget::force_bit(&mut t, 1, 0, 1);
+        assert_eq!(
+            (t.prediction_writes(), t.hysteresis_writes()),
+            before,
+            "soft errors must not exercise the write ports"
+        );
+    }
+
+    #[test]
+    fn logical_reads_reassemble_faulted_state() {
+        // A fault is only a stored-bit change: read() must reassemble the
+        // (now wrong) counter exactly as the hardware would.
+        let mut t = SplitCounterTable::full(4);
+        t.write(9, Counter2::new(0b11));
+        FaultTarget::flip_bit(&mut t, 0, 9);
+        assert_eq!(t.read(9).value(), 0b01);
+        assert_eq!(t.read(9).prediction(), Outcome::NotTaken);
+    }
+
+    #[test]
+    #[should_panic(expected = "two arrays")]
+    fn out_of_range_array_panics() {
+        let mut t = SplitCounterTable::full(4);
+        FaultTarget::flip_bit(&mut t, 2, 0);
+    }
+}

@@ -52,6 +52,7 @@ pub mod egskew;
 pub mod gselect;
 pub mod gshare;
 pub mod history;
+pub mod introspect;
 pub mod local;
 pub mod perceptron;
 mod predictor;

@@ -181,6 +181,23 @@ impl SplitCounterTable {
     pub fn storage_bits(&self) -> u64 {
         (self.prediction.len() + self.hysteresis.len()) as u64
     }
+
+    /// Fault-injection access to the prediction bit array.
+    ///
+    /// Mutations through this handle model *soft errors*, not logical
+    /// writes: they deliberately bypass the write-enable accounting
+    /// ([`SplitCounterTable::prediction_writes`]), exactly as a particle
+    /// strike flips an SRAM cell without exercising the write port.
+    pub fn prediction_array_mut(&mut self) -> &mut BitVec {
+        &mut self.prediction
+    }
+
+    /// Fault-injection access to the hysteresis bit array (same
+    /// bypasses-write-accounting semantics as
+    /// [`SplitCounterTable::prediction_array_mut`]).
+    pub fn hysteresis_array_mut(&mut self) -> &mut BitVec {
+        &mut self.hysteresis
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use ev8_trace::{Outcome, Pc};
 use crate::counter::Counter2;
 use crate::egskew::majority;
 use crate::history::GlobalHistory;
+use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
 use crate::skew::InfoVector;
 use crate::table::SplitCounterTable;
@@ -479,6 +480,59 @@ impl TwoBcGskew {
     }
 }
 
+impl TwoBcGskew {
+    /// Maps a flat array index (0..8) onto (table, sub-array): arrays are
+    /// listed table-major in EV8 bank order (BIM, G0, G1, Meta), each
+    /// contributing its prediction array then its hysteresis array.
+    fn table_mut(&mut self, array: usize) -> (&mut SplitCounterTable, usize) {
+        let table = match array >> 1 {
+            0 => &mut self.bim,
+            1 => &mut self.g0,
+            2 => &mut self.g1,
+            3 => &mut self.meta,
+            _ => panic!("2Bc-gskew has eight arrays"),
+        };
+        (table, array & 1)
+    }
+}
+
+impl FaultTarget for TwoBcGskew {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        let mut arrays = prefixed(
+            self.bim.fault_arrays(),
+            &["bim.prediction", "bim.hysteresis"],
+        );
+        arrays.extend(prefixed(
+            self.g0.fault_arrays(),
+            &["g0.prediction", "g0.hysteresis"],
+        ));
+        arrays.extend(prefixed(
+            self.g1.fault_arrays(),
+            &["g1.prediction", "g1.hysteresis"],
+        ));
+        arrays.extend(prefixed(
+            self.meta.fault_arrays(),
+            &["meta.prediction", "meta.hysteresis"],
+        ));
+        arrays
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        let (table, sub) = self.table_mut(array);
+        FaultTarget::flip_bit(table, sub, bit);
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        let (table, sub) = self.table_mut(array);
+        FaultTarget::force_bit(table, sub, bit, value);
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        let (table, sub) = self.table_mut(array);
+        FaultTarget::flip_word(table, sub, word);
+    }
+}
+
 impl BranchPredictor for TwoBcGskew {
     fn predict(&self, pc: Pc) -> Outcome {
         self.predict_detail(pc).overall
@@ -807,6 +861,42 @@ mod tests {
             pp <= tp,
             "prediction-array writes: partial {pp} vs total {tp}"
         );
+    }
+
+    #[test]
+    fn fault_arrays_cover_the_full_352_kbit_budget() {
+        use crate::introspect::ArrayClass;
+        let p = TwoBcGskew::new(TwoBcGskewConfig::ev8_size());
+        let arrays = p.fault_arrays();
+        assert_eq!(arrays.len(), 8);
+        let total: usize = arrays.iter().map(|a| a.bits).sum();
+        assert_eq!(total as u64, p.storage_bits());
+        assert_eq!(total, 352 * 1024);
+        // Table 1 split: 208 Kbit prediction, 144 Kbit hysteresis.
+        let pred: usize = arrays
+            .iter()
+            .filter(|a| a.class == ArrayClass::Prediction)
+            .map(|a| a.bits)
+            .sum();
+        assert_eq!(pred, 208 * 1024);
+        assert_eq!(arrays[2].name, "g0.prediction");
+        assert_eq!(arrays[3].name, "g0.hysteresis");
+        // G0 has half-size hysteresis.
+        assert_eq!(arrays[3].bits, arrays[2].bits / 2);
+    }
+
+    #[test]
+    fn fault_flip_changes_exactly_one_prediction_bit() {
+        let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(6, 0));
+        let pc = Pc::new(0x100);
+        let idx = p.indices(pc);
+        let before = p.predict_detail(pc);
+        // Array 4 = g1.prediction.
+        FaultTarget::flip_bit(&mut p, 4, idx.g1);
+        let after = p.predict_detail(pc);
+        assert_ne!(before.g1, after.g1, "g1 vote must invert");
+        assert_eq!(before.bim, after.bim);
+        assert_eq!(before.g0, after.g0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | [`backup`] | §9 — perceptron backup hierarchy |
 //! | [`update_traffic`] | §4.2 — partial-update accuracy and write traffic |
 //! | [`aliasing`] | §4 — interference vs static footprint |
+//! | [`seu`] | robustness — misp/KI under soft-error injection |
 //! | [`scaling`] | calibration — misp/KI convergence with trace length |
 //!
 //! Every `report(scale, workers)` takes `scale` as a fraction of the
@@ -54,6 +55,7 @@ pub mod fig9;
 pub mod frontend;
 pub mod history_sweep;
 pub mod scaling;
+pub mod seu;
 pub mod smt;
 pub mod table1;
 pub mod table2;

@@ -7,7 +7,10 @@
 //!
 //! * [`simulator`] — [`simulate`] runs any
 //!   [`ev8_predictors::BranchPredictor`] over a trace with immediate
-//!   update; [`simulate_stale_update`]
+//!   update; [`simulate_with_faults`] is the same loop with an
+//!   `ev8_faults` injector stepped per branch (a separate entry point,
+//!   so the fault-free hot path carries no disabled-hook cost);
+//!   [`simulate_stale_update`]
 //!   models a predictor with *no speculative history update* (the
 //!   pathology the paper's reference \[8\] warns about), while the faithful
 //!   commit-time model lives in
@@ -44,4 +47,4 @@ pub mod simulator;
 pub mod sweep;
 
 pub use metrics::SimResult;
-pub use simulator::{simulate, simulate_stale_update};
+pub use simulator::{simulate, simulate_stale_update, simulate_with_faults};

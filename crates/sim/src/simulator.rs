@@ -3,6 +3,8 @@
 
 use std::collections::VecDeque;
 
+use ev8_faults::{FaultInjector, FaultLog, FaultPlan};
+use ev8_predictors::introspect::FaultTarget;
 use ev8_predictors::BranchPredictor;
 use ev8_trace::{BranchRecord, Outcome, Trace};
 
@@ -28,6 +30,53 @@ pub fn simulate<P: BranchPredictor>(mut predictor: P, trace: &Trace) -> SimResul
         }
     }
     result
+}
+
+/// Runs a predictor over a trace with immediate update while injecting
+/// faults from `plan` — one injector [step](FaultInjector::step) per
+/// conditional branch, *before* the branch is predicted, so a strike can
+/// corrupt the very next lookup.
+///
+/// This is a separate entry point rather than a hook inside [`simulate`]
+/// on purpose: the fault-free hot path stays byte-for-byte identical to
+/// the unfaulted build (no per-branch flag test, no dead injector state),
+/// which is what makes the "fault hooks are zero-cost when disabled"
+/// claim checkable by construction and by the `sim_hot_loop` bench.
+///
+/// Faults are *soft errors*, not logical writes: they go straight to the
+/// storage arrays via
+/// [`FaultTarget`] and bypass the predictor's write-enable accounting, so
+/// `prediction_writes`/`hysteresis_writes` in the result still count only
+/// the predictor's own update traffic.
+///
+/// Returns the simulation result plus the injector's [`FaultLog`] (how
+/// many faults landed, per array). With `plan.rate == 0.0` the result is
+/// identical to [`simulate`] — the injector draws from its RNG but never
+/// touches the tables.
+pub fn simulate_with_faults<P: BranchPredictor + FaultTarget>(
+    mut predictor: P,
+    trace: &Trace,
+    plan: FaultPlan,
+) -> (SimResult, FaultLog) {
+    let mut injector = FaultInjector::new(plan, &predictor);
+    let mut result = SimResult {
+        trace: trace.name().to_owned(),
+        predictor: predictor.name(),
+        instructions: trace.instruction_count(),
+        ..SimResult::default()
+    };
+    for record in trace.iter() {
+        if record.kind.is_conditional() {
+            injector.step(&mut predictor);
+        }
+        if let Some(prediction) = predictor.predict_and_update(record) {
+            result.conditional_branches += 1;
+            if prediction != record.outcome {
+                result.mispredictions += 1;
+            }
+        }
+    }
+    (result, injector.into_log())
 }
 
 /// Runs a predictor with **fully stale updates**: *both* the table write
@@ -224,6 +273,66 @@ mod tests {
         assert!(first.conditional_branches == 50);
         let second = simulate(&mut p, &t);
         assert!(second.mispredictions <= first.mispredictions);
+    }
+
+    #[test]
+    fn faulted_sim_at_rate_zero_is_identical_to_plain() {
+        // The zero-cost/equivalence anchor: a disabled fault plan must
+        // reproduce `simulate` bit-for-bit (same mispredictions, same
+        // write accounting), with zero injections logged.
+        use ev8_faults::FaultPlan;
+        use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+        let t = biased_trace(2000, 5);
+        let plain = simulate(TwoBcGskew::new(TwoBcGskewConfig::equal(10, 10)), &t);
+        let (faulted, log) = simulate_with_faults(
+            TwoBcGskew::new(TwoBcGskewConfig::equal(10, 10)),
+            &t,
+            FaultPlan::seu(0.0).with_seed(7),
+        );
+        assert_eq!(log.injected(), 0);
+        assert_eq!(plain.mispredictions, faulted.mispredictions);
+        assert_eq!(plain.conditional_branches, faulted.conditional_branches);
+    }
+
+    #[test]
+    fn heavy_seu_rate_costs_accuracy() {
+        use ev8_faults::FaultPlan;
+        use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+        let t = biased_trace(4000, 5);
+        let clean = simulate(TwoBcGskew::new(TwoBcGskewConfig::equal(8, 8)), &t);
+        // One SEU per branch into a small predictor is a blizzard; the
+        // curve must move the right way, and nothing may panic.
+        let (hit, log) = simulate_with_faults(
+            TwoBcGskew::new(TwoBcGskewConfig::equal(8, 8)),
+            &t,
+            FaultPlan::seu(1.0).with_seed(3),
+        );
+        assert_eq!(log.injected(), hit.conditional_branches);
+        assert!(
+            hit.mispredictions > clean.mispredictions,
+            "SEU storm {} should beat clean {}",
+            hit.mispredictions,
+            clean.mispredictions
+        );
+    }
+
+    #[test]
+    fn faulted_sim_is_deterministic() {
+        use ev8_faults::FaultPlan;
+        use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+        let t = biased_trace(1500, 4);
+        let run = || {
+            simulate_with_faults(
+                TwoBcGskew::new(TwoBcGskewConfig::equal(9, 9)),
+                &t,
+                FaultPlan::seu(0.05).with_seed(11),
+            )
+        };
+        let (a, la) = run();
+        let (b, lb) = run();
+        assert_eq!(a.mispredictions, b.mispredictions);
+        assert_eq!(la.injected(), lb.injected());
+        assert_eq!(la.by_array(), lb.by_array());
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! tag:     bits 0..3 = branch kind, bit 3 = taken
 //! ```
 //!
+//! The encoding primitives live in the crate-private `wire` module,
+//! shared with [`crate::stream`]. Decoding is hardened against corrupt
+//! input: every structural error is a [`TraceError`] carrying the byte
+//! offset, and length fields from unvalidated headers never drive large
+//! allocations.
+//!
 //! The functions are generic over [`std::io::Read`] / [`std::io::Write`];
 //! a `&mut` reference can be passed wherever a reader or writer is expected.
 //!
@@ -39,78 +45,10 @@ use ev8_util::bytebuf::ByteBuf;
 
 use crate::error::TraceError;
 use crate::trace::Trace;
-use crate::types::{BranchKind, BranchRecord, Outcome, Pc};
+use crate::types::Pc;
+use crate::wire::{self, CountingReader, RECORD_PREALLOC_CAP};
 
-/// Magic bytes identifying a trace file.
-pub const MAGIC: [u8; 4] = *b"EV8T";
-
-/// Current format version.
-pub const VERSION: u16 = 1;
-
-const KIND_MASK: u8 = 0b0111;
-const TAKEN_BIT: u8 = 0b1000;
-
-fn kind_to_tag(kind: BranchKind) -> u8 {
-    match kind {
-        BranchKind::Conditional => 0,
-        BranchKind::Unconditional => 1,
-        BranchKind::Call => 2,
-        BranchKind::Return => 3,
-        BranchKind::IndirectJump => 4,
-    }
-}
-
-fn kind_from_tag(tag: u8) -> Option<BranchKind> {
-    Some(match tag {
-        0 => BranchKind::Conditional,
-        1 => BranchKind::Unconditional,
-        2 => BranchKind::Call,
-        3 => BranchKind::Return,
-        4 => BranchKind::IndirectJump,
-        _ => return None,
-    })
-}
-
-fn zigzag_encode(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn zigzag_decode(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-fn put_varint(buf: &mut ByteBuf, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
-        }
-        buf.put_u8(byte | 0x80);
-    }
-}
-
-fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        let b = byte[0];
-        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
-            return Err(TraceError::Corrupt {
-                what: "varint overflow",
-                offset: None,
-            });
-        }
-        v |= ((b & 0x7f) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
+pub use crate::wire::{MAGIC, VERSION};
 
 /// Writes a trace in the binary format.
 ///
@@ -119,26 +57,16 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
 /// Returns [`TraceError::Io`] when the underlying writer fails.
 pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
     let mut buf = ByteBuf::with_capacity(64 + trace.len() * 6);
-    buf.put_slice(&MAGIC);
-    buf.put_u16_le(VERSION);
-    let name = trace.name().as_bytes();
-    put_varint(&mut buf, name.len() as u64);
-    buf.put_slice(name);
-    put_varint(&mut buf, trace.len() as u64);
-    put_varint(&mut buf, trace.instruction_count());
+    wire::put_header(
+        &mut buf,
+        trace.name(),
+        trace.len() as u64,
+        trace.instruction_count(),
+    );
 
     let mut prev_next = Pc::default();
     for rec in trace.iter() {
-        let mut tag = kind_to_tag(rec.kind);
-        if rec.is_taken() {
-            tag |= TAKEN_BIT;
-        }
-        buf.put_u8(tag);
-        let pc_delta = rec.pc.as_u64() as i64 - prev_next.as_u64() as i64;
-        put_varint(&mut buf, zigzag_encode(pc_delta));
-        let tgt_delta = rec.target.as_u64() as i64 - rec.pc.as_u64() as i64;
-        put_varint(&mut buf, zigzag_encode(tgt_delta));
-        put_varint(&mut buf, rec.gap as u64);
+        wire::put_record(&mut buf, rec, prev_next);
         prev_next = rec.next_pc();
 
         // Flush periodically to bound memory for very large traces.
@@ -157,86 +85,42 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> 
 ///
 /// Returns [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`],
 /// [`TraceError::Corrupt`] or [`TraceError::UnexpectedEof`] on malformed
-/// input, and [`TraceError::Io`] on reader failure.
-pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(TraceError::BadMagic { found: magic });
-    }
-    let mut ver = [0u8; 2];
-    r.read_exact(&mut ver)?;
-    let version = u16::from_le_bytes(ver);
-    if version != VERSION {
-        return Err(TraceError::UnsupportedVersion { found: version });
-    }
-    let name_len = read_varint(&mut r)? as usize;
-    if name_len > 1 << 16 {
-        return Err(TraceError::Corrupt {
-            what: "unreasonable name length",
-            offset: None,
-        });
-    }
-    let mut name_bytes = vec![0u8; name_len];
-    r.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Corrupt {
-        what: "trace name is not utf-8",
-        offset: None,
-    })?;
-    let count = read_varint(&mut r)? as usize;
-    let instruction_count = read_varint(&mut r)?;
+/// input (each carrying the byte offset where the problem was detected),
+/// and [`TraceError::Io`] on reader failure.
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
+    let mut r = CountingReader::new(r);
+    let header = wire::read_header(&mut r)?;
+    let count = header.count as usize;
 
-    let mut records = Vec::with_capacity(count.min(1 << 24));
+    // The count field is attacker-controlled until the records actually
+    // parse: preallocate at most RECORD_PREALLOC_CAP entries and let
+    // honest long traces grow organically.
+    let mut records = Vec::with_capacity(count.min(RECORD_PREALLOC_CAP));
     let mut prev_next = Pc::default();
     for _ in 0..count {
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let tag = tag[0];
-        let kind = kind_from_tag(tag & KIND_MASK).ok_or(TraceError::Corrupt {
-            what: "unknown branch kind tag",
-            offset: None,
-        })?;
-        let taken = tag & TAKEN_BIT != 0;
-        if kind.is_always_taken() && !taken {
-            return Err(TraceError::Corrupt {
-                what: "non-conditional branch marked not-taken",
-                offset: None,
-            });
-        }
-        let pc_delta = zigzag_decode(read_varint(&mut r)?);
-        let pc = Pc::new((prev_next.as_u64() as i64 + pc_delta) as u64);
-        let tgt_delta = zigzag_decode(read_varint(&mut r)?);
-        let target = Pc::new((pc.as_u64() as i64 + tgt_delta) as u64);
-        let gap = read_varint(&mut r)?;
-        let gap = u32::try_from(gap).map_err(|_| TraceError::Corrupt {
-            what: "gap exceeds u32",
-            offset: None,
-        })?;
-        let rec = BranchRecord {
-            pc,
-            target,
-            kind,
-            outcome: Outcome::from(taken),
-            gap,
-        };
+        let tag_at = r.offset();
+        let tag = r.read_u8()?;
+        let rec = wire::read_record_body(&mut r, tag, tag_at, prev_next)?;
         prev_next = rec.next_pc();
         records.push(rec);
     }
 
     let expected = records.len() as u64 + records.iter().map(|r| r.gap as u64).sum::<u64>();
-    if expected != instruction_count {
-        return Err(TraceError::Corrupt {
-            what: "instruction count mismatch",
-            offset: None,
-        });
+    if expected != header.instruction_count {
+        return Err(r.corrupt("instruction count mismatch"));
     }
-    Ok(Trace::from_parts(name, records, instruction_count))
+    Ok(Trace::from_parts(
+        header.name,
+        records,
+        header.instruction_count,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::TraceBuilder;
+    use crate::types::{BranchKind, BranchRecord};
 
     fn sample_trace() -> Trace {
         let mut b = TraceBuilder::new("codec-sample");
@@ -304,59 +188,47 @@ mod tests {
     }
 
     #[test]
-    fn truncation_detected() {
+    fn truncation_detected_with_offset() {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample_trace()).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(
-            read_trace(&mut buf.as_slice()),
-            Err(TraceError::UnexpectedEof)
-        ));
+        match read_trace(&mut buf.as_slice()) {
+            Err(TraceError::UnexpectedEof { offset }) => {
+                assert!(offset as usize <= buf.len());
+                assert!(offset > 0);
+            }
+            other => panic!("expected eof, got {other:?}"),
+        }
     }
 
     #[test]
-    fn empty_input_is_eof() {
+    fn empty_input_is_eof_at_zero() {
         assert!(matches!(
             read_trace(&mut [][..].as_ref()),
-            Err(TraceError::UnexpectedEof)
+            Err(TraceError::UnexpectedEof { offset: 0 })
         ));
     }
 
     #[test]
-    fn zigzag_roundtrip() {
-        for v in [
-            0i64,
-            1,
-            -1,
-            63,
-            -64,
-            i64::MAX,
-            i64::MIN,
-            123456789,
-            -987654321,
-        ] {
-            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
-        }
-    }
-
-    #[test]
-    fn varint_roundtrip() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = ByteBuf::new();
-            put_varint(&mut buf, v);
-            let got = read_varint(&mut buf.as_ref()).unwrap();
-            assert_eq!(got, v);
-        }
-    }
-
-    #[test]
-    fn varint_overflow_rejected() {
-        // Eleven continuation bytes encode more than 64 bits.
-        let bytes = [0xffu8; 11];
-        assert!(matches!(
-            read_varint(&mut bytes.as_slice()),
-            Err(TraceError::Corrupt { .. })
+    fn corrupt_kind_tag_reports_offset() {
+        let mut b = TraceBuilder::new("t");
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x100),
+            Pc::new(0x80),
+            true,
         ));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &b.finish()).unwrap();
+        // Header: 4 magic + 2 version + 1 name len + 1 name + 2 counts =
+        // 10 bytes; the first record's tag is at offset 10.
+        buf[10] = 0x07;
+        match read_trace(&mut buf.as_slice()) {
+            Err(TraceError::Corrupt { what, offset }) => {
+                assert_eq!(what, "unknown branch kind tag");
+                assert_eq!(offset, 10);
+            }
+            other => panic!("expected corrupt tag, got {other:?}"),
+        }
     }
 
     #[test]

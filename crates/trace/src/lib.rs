@@ -41,6 +41,7 @@ pub mod stats;
 pub mod stream;
 mod trace;
 mod types;
+mod wire;
 
 pub use builder::TraceBuilder;
 pub use error::TraceError;

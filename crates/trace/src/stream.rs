@@ -3,80 +3,16 @@
 //! Full-length workloads hold tens of millions of records; the streaming
 //! [`TraceReader`] iterates them straight off a [`std::io::Read`] without
 //! materializing the whole trace, and [`TraceWriter`] emits records
-//! incrementally. Both speak the same format as [`crate::codec`].
+//! incrementally. Both speak the same format as [`crate::codec`] (the
+//! shared primitives live in the crate-private `wire` module).
 
 use std::io::{Read, Write};
 
 use ev8_util::bytebuf::ByteBuf;
 
-use crate::codec::{MAGIC, VERSION};
 use crate::error::TraceError;
-use crate::types::{BranchKind, BranchRecord, Outcome, Pc};
-
-const KIND_MASK: u8 = 0b0111;
-const TAKEN_BIT: u8 = 0b1000;
-
-fn kind_to_tag(kind: BranchKind) -> u8 {
-    match kind {
-        BranchKind::Conditional => 0,
-        BranchKind::Unconditional => 1,
-        BranchKind::Call => 2,
-        BranchKind::Return => 3,
-        BranchKind::IndirectJump => 4,
-    }
-}
-
-fn kind_from_tag(tag: u8) -> Option<BranchKind> {
-    Some(match tag {
-        0 => BranchKind::Conditional,
-        1 => BranchKind::Unconditional,
-        2 => BranchKind::Call,
-        3 => BranchKind::Return,
-        4 => BranchKind::IndirectJump,
-        _ => return None,
-    })
-}
-
-fn zigzag_encode(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn zigzag_decode(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-fn put_varint(buf: &mut ByteBuf, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
-        }
-        buf.put_u8(byte | 0x80);
-    }
-}
-
-fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        let b = byte[0];
-        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
-            return Err(TraceError::Corrupt {
-                what: "varint overflow",
-                offset: None,
-            });
-        }
-        v |= ((b & 0x7f) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
+use crate::types::{BranchRecord, Pc};
+use crate::wire::{self, CountingReader};
 
 /// Incrementally writes a trace stream in the binary format.
 ///
@@ -118,13 +54,8 @@ impl<W: Write> TraceWriter<W> {
     /// Returns [`TraceError::Io`] when the writer fails.
     pub fn new(mut inner: W, name: &str) -> Result<Self, TraceError> {
         let mut buf = ByteBuf::with_capacity(64 + name.len());
-        buf.put_slice(&MAGIC);
-        buf.put_u16_le(VERSION);
-        put_varint(&mut buf, name.len() as u64);
-        buf.put_slice(name.as_bytes());
         // Streamed form: record count and instruction count unknown (0).
-        put_varint(&mut buf, 0);
-        put_varint(&mut buf, 0);
+        wire::put_header(&mut buf, name, 0, 0);
         inner.write_all(&buf)?;
         buf.clear();
         Ok(TraceWriter {
@@ -141,16 +72,7 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Returns [`TraceError::Io`] when the underlying writer fails.
     pub fn write(&mut self, rec: &BranchRecord) -> Result<(), TraceError> {
-        let mut tag = kind_to_tag(rec.kind);
-        if rec.is_taken() {
-            tag |= TAKEN_BIT;
-        }
-        self.buf.put_u8(tag);
-        let pc_delta = rec.pc.as_u64() as i64 - self.prev_next.as_u64() as i64;
-        put_varint(&mut self.buf, zigzag_encode(pc_delta));
-        let tgt_delta = rec.target.as_u64() as i64 - rec.pc.as_u64() as i64;
-        put_varint(&mut self.buf, zigzag_encode(tgt_delta));
-        put_varint(&mut self.buf, rec.gap as u64);
+        wire::put_record(&mut self.buf, rec, self.prev_next);
         self.prev_next = rec.next_pc();
         self.written += 1;
         if self.buf.len() >= 1 << 16 {
@@ -181,9 +103,10 @@ impl<W: Write> TraceWriter<W> {
 ///
 /// Yields `Result<BranchRecord, TraceError>`; iteration ends at
 /// end-of-stream (for streamed traces) or after the header's record count
-/// (for traces written by [`crate::codec::write_trace`]).
+/// (for traces written by [`crate::codec::write_trace`]). Decode errors
+/// carry the byte offset where the input went wrong.
 pub struct TraceReader<R: Read> {
-    inner: R,
+    inner: CountingReader<R>,
     name: String,
     /// Records remaining per the header; `None` for streamed traces.
     remaining: Option<u64>,
@@ -198,37 +121,13 @@ impl<R: Read> TraceReader<R> {
     ///
     /// Returns [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`]
     /// / [`TraceError::Corrupt`] on malformed headers.
-    pub fn new(mut inner: R) -> Result<Self, TraceError> {
-        let mut magic = [0u8; 4];
-        inner.read_exact(&mut magic)?;
-        if magic != MAGIC {
-            return Err(TraceError::BadMagic { found: magic });
-        }
-        let mut ver = [0u8; 2];
-        inner.read_exact(&mut ver)?;
-        let version = u16::from_le_bytes(ver);
-        if version != VERSION {
-            return Err(TraceError::UnsupportedVersion { found: version });
-        }
-        let name_len = read_varint(&mut inner)? as usize;
-        if name_len > 1 << 16 {
-            return Err(TraceError::Corrupt {
-                what: "unreasonable name length",
-                offset: None,
-            });
-        }
-        let mut name_bytes = vec![0u8; name_len];
-        inner.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Corrupt {
-            what: "trace name is not utf-8",
-            offset: None,
-        })?;
-        let count = read_varint(&mut inner)?;
-        let _instruction_count = read_varint(&mut inner)?;
+    pub fn new(inner: R) -> Result<Self, TraceError> {
+        let mut inner = CountingReader::new(inner);
+        let header = wire::read_header(&mut inner)?;
         Ok(TraceReader {
             inner,
-            name,
-            remaining: (count > 0).then_some(count),
+            name: header.name,
+            remaining: (header.count > 0).then_some(header.count),
             prev_next: Pc::default(),
             failed: false,
         })
@@ -239,48 +138,23 @@ impl<R: Read> TraceReader<R> {
         &self.name
     }
 
+    /// Bytes consumed from the underlying reader so far.
+    pub fn offset(&self) -> u64 {
+        self.inner.offset()
+    }
+
     fn read_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
-        let mut tag = [0u8; 1];
-        match self.inner.read_exact(&mut tag) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                // Clean end for streamed traces (no record count).
-                return if self.remaining.is_none() {
-                    Ok(None)
-                } else {
-                    Err(TraceError::UnexpectedEof)
-                };
+        let tag_at = self.inner.offset();
+        let tag = if self.remaining.is_none() {
+            // Streamed trace: clean EOF at a record boundary ends it.
+            match self.inner.try_read_u8()? {
+                Some(tag) => tag,
+                None => return Ok(None),
             }
-            Err(e) => return Err(e.into()),
-        }
-        let tag = tag[0];
-        let kind = kind_from_tag(tag & KIND_MASK).ok_or(TraceError::Corrupt {
-            what: "unknown branch kind tag",
-            offset: None,
-        })?;
-        let taken = tag & TAKEN_BIT != 0;
-        if kind.is_always_taken() && !taken {
-            return Err(TraceError::Corrupt {
-                what: "non-conditional branch marked not-taken",
-                offset: None,
-            });
-        }
-        let pc_delta = zigzag_decode(read_varint(&mut self.inner)?);
-        let pc = Pc::new((self.prev_next.as_u64() as i64 + pc_delta) as u64);
-        let tgt_delta = zigzag_decode(read_varint(&mut self.inner)?);
-        let target = Pc::new((pc.as_u64() as i64 + tgt_delta) as u64);
-        let gap = read_varint(&mut self.inner)?;
-        let gap = u32::try_from(gap).map_err(|_| TraceError::Corrupt {
-            what: "gap exceeds u32",
-            offset: None,
-        })?;
-        let rec = BranchRecord {
-            pc,
-            target,
-            kind,
-            outcome: Outcome::from(taken),
-            gap,
+        } else {
+            self.inner.read_u8()?
         };
+        let rec = wire::read_record_body(&mut self.inner, tag, tag_at, self.prev_next)?;
         self.prev_next = rec.next_pc();
         Ok(Some(rec))
     }
@@ -319,6 +193,7 @@ mod tests {
     use super::*;
     use crate::builder::TraceBuilder;
     use crate::codec;
+    use crate::types::BranchKind;
 
     fn sample_records(n: u64) -> Vec<BranchRecord> {
         (0..n)
@@ -408,7 +283,7 @@ mod tests {
     }
 
     #[test]
-    fn iteration_stops_after_error() {
+    fn iteration_stops_after_error_and_reports_offset() {
         // Corrupt a kind tag in the middle.
         let records = sample_records(10);
         let mut buf = Vec::new();
@@ -421,7 +296,13 @@ mod tests {
         buf[10] = 0x07; // invalid kind tag for the first record
         let reader = TraceReader::new(buf.as_slice()).unwrap();
         let results: Vec<_> = reader.collect();
-        assert!(results[0].is_err());
+        match &results[0] {
+            Err(TraceError::Corrupt { what, offset }) => {
+                assert_eq!(*what, "unknown branch kind tag");
+                assert_eq!(*offset, 10);
+            }
+            other => panic!("expected corrupt tag, got {other:?}"),
+        }
         assert_eq!(results.len(), 1, "iteration must stop after an error");
     }
 

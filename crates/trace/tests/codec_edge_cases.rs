@@ -98,6 +98,60 @@ fn extreme_pc_deltas_roundtrip() {
 }
 
 #[test]
+fn forged_huge_record_count_cannot_reserve_gigabytes() {
+    // Regression test for the corrupt-length-prefix hardening: a header
+    // whose record-count varint claims ~2^61 records over a 2-byte body
+    // must fail with a structured error, *without* the reader first
+    // preallocating count * size_of::<BranchRecord>() bytes. The
+    // allocation clamp is structural (prealloc capped, growth only on
+    // actually-parsed records), so this completes in microseconds; if
+    // the clamp regressed, this test would attempt a multi-EiB reserve
+    // and abort the process.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"EV8T");
+    buf.extend_from_slice(&1u16.to_le_bytes());
+    buf.push(0); // empty name
+                 // Record count: 9-byte varint encoding 0x1FFF_FFFF_FFFF_FFFF.
+    buf.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f]);
+    buf.push(0); // instruction count 0
+    buf.extend_from_slice(&[0x00, 0x00]); // a fragment of "records"
+    match read_trace(buf.as_slice()) {
+        Err(TraceError::UnexpectedEof { offset }) => {
+            assert!(offset as u64 <= buf.len() as u64);
+        }
+        other => panic!("forged count must fail structurally, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_count_with_valid_records_still_bounded() {
+    // Same forged count, but the body holds a few valid-looking records:
+    // the reader must parse them, hit EOF, and never trust the count for
+    // allocation sizing.
+    let mut b = TraceBuilder::new("bait");
+    for i in 0..16u64 {
+        b.branch(BranchRecord::conditional(
+            Pc::new(0x1000 + i * 8),
+            Pc::new(0x2000),
+            i % 2 == 0,
+        ));
+    }
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &b.finish()).expect("encode");
+    // Header: 4 magic + 2 version + 1 name len + 4 name. The record
+    // count is a 1-byte varint (16) at offset 11; splice in a huge one.
+    assert_eq!(buf[11], 16);
+    buf.splice(
+        11..12,
+        [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f],
+    );
+    match read_trace(buf.as_slice()) {
+        Err(TraceError::UnexpectedEof { .. }) => {}
+        other => panic!("expected eof after real records, got {other:?}"),
+    }
+}
+
+#[test]
 fn single_record_trace_roundtrips() {
     let mut b = TraceBuilder::new("one");
     b.branch(BranchRecord::always_taken(

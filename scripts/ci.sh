@@ -44,6 +44,21 @@ if [ "$paper_shapes_elapsed" -gt "$PAPER_SHAPES_BUDGET" ]; then
     exit 1
 fi
 
+# Robustness smoke, also budgeted: ten thousand fixed-seed trace
+# corruptions through both decoders (far past the 256-mutation floor the
+# fuzz contract requires) plus the SEU fault-injection campaign across
+# three benchmarks. Every case replays from a literal seed, so a failure
+# here is a one-line reproduction.
+FAULTS_BUDGET="${EV8_FAULTS_BUDGET:-120}"
+faults_start=$(date +%s)
+run cargo test -q --test fault_injection --offline
+faults_elapsed=$(( $(date +%s) - faults_start ))
+echo "==> fault_injection wall-clock: ${faults_elapsed}s (budget ${FAULTS_BUDGET}s)"
+if [ "$faults_elapsed" -gt "$FAULTS_BUDGET" ]; then
+    echo "error: fault_injection exceeded its ${FAULTS_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays

@@ -158,6 +158,17 @@ fn aliasing_structure() {
 }
 
 #[test]
+fn seu_structure() {
+    check(
+        &experiments::seu::report(SCALE, default_workers()),
+        experiments::seu::BENCHMARKS.len() * experiments::seu::FAULT_RATES.len(),
+        // Rate column is scientific notation; misp/KI and fault-count
+        // columns must parse as plain numbers.
+        &[2, 3, 4, 5],
+    );
+}
+
+#[test]
 fn scaling_structure() {
     check(
         &experiments::scaling::report("compress", 0.02, default_workers()),
