@@ -24,6 +24,13 @@
 //! `simulate` on the same predictor/trace) must stay in family with
 //! `simulate_ev8_ns` history, and `fault_hook_zero_rate_ns` records what
 //! an armed-but-rate-0 injector costs (one RNG draw per branch).
+//!
+//! A fifth group makes the same argument for the observability layer:
+//! `observe_hook_disabled_ns` is plain `simulate` (the observed loop is a
+//! separate entry point, so the hot path never sees an observer), and
+//! `observe_hook_noop_ns` is `simulate_observed` with a `NullObserver` —
+//! the cost of materialising per-branch provenance into a sink that
+//! drops it, which bounds the armed-but-idle overhead.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,6 +43,7 @@ use ev8_faults::FaultPlan;
 use ev8_predictors::counter::Counter2;
 use ev8_predictors::table::SplitCounterTable;
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+use ev8_sim::observe::{simulate_observed, NullObserver};
 use ev8_sim::simulator::{simulate, simulate_with_faults};
 use ev8_trace::{Outcome, Trace};
 use ev8_workloads::spec95;
@@ -220,6 +228,28 @@ fn main() {
         group.finish();
     }
 
+    let mut observe_disabled = None;
+    let mut observe_noop = None;
+    {
+        let mut group = h.group("observe_hook");
+        group.throughput(trace.conditional_count());
+        group.sample_size(10);
+        // Same zero-cost claim as fault_hook, for the observability layer:
+        // "disabled" is the plain `simulate` loop (no observer type exists
+        // in it at all); "noop" is the observed entry point with a
+        // `NullObserver`, bounding what the hook costs when armed but
+        // sinking nothing.
+        group.bench("disabled_plain_simulate", |b| {
+            b.iter(|| simulate(Ev8Predictor::ev8(), &trace));
+            observe_disabled = b.measurement().cloned();
+        });
+        group.bench("noop_observer", |b| {
+            b.iter(|| simulate_observed(Ev8Predictor::ev8(), &trace, &mut NullObserver));
+            observe_noop = b.measurement().cloned();
+        });
+        group.finish();
+    }
+
     let (fresh_ns, cached_ns) = (median_ns(&fresh), median_ns(&cached));
     let (bytes_ns, packed_ns) = (median_ns(&bytes), median_ns(&packed));
     let mut out = JsonObject::new();
@@ -243,6 +273,12 @@ fn main() {
         .field(
             "fault_hook_zero_rate_overhead",
             &ratio(median_ns(&hook_zero_rate), median_ns(&hook_disabled)),
+        )
+        .field("observe_hook_disabled_ns", &median_ns(&observe_disabled))
+        .field("observe_hook_noop_ns", &median_ns(&observe_noop))
+        .field(
+            "observe_hook_noop_overhead",
+            &ratio(median_ns(&observe_noop), median_ns(&observe_disabled)),
         );
     let json = out.finish();
     // `EV8_BENCH_JSON` redirects the output (the CI smoke run points it

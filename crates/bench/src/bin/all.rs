@@ -39,6 +39,7 @@ fn main() {
         workers,
     ));
     emit(ev8_sim::experiments::update_traffic::report(scale, workers));
+    emit(ev8_sim::experiments::attribution::report(scale, workers));
     // The SEU grid is benchmarks x rates x targets: run it at a reduced
     // scale to keep the full-evaluation wall clock in budget.
     emit(ev8_sim::experiments::seu::report(

@@ -1,0 +1,15 @@
+//! Attribution study: per-component provenance of EV8 predictions —
+//! provider/chooser shares, the §4.2 partial-update action mix, §6 bank
+//! collision invariant and top-mispredicting static branches. Set
+//! `EV8_OBSERVE_JSONL=<path>` to also dump the per-prediction event
+//! stream.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("attribution", scale);
+    println!(
+        "{}",
+        ev8_sim::experiments::attribution::report(scale, workers)
+    );
+}

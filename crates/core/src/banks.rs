@@ -64,6 +64,10 @@ pub struct BankSequencer {
     z: Pc,
     /// Bank used by the previous block.
     prev_bank: BankId,
+    /// Times a computed bank equaled the previous block's bank. The §6
+    /// construction guarantees this stays 0; the counter turns that claim
+    /// into a runtime-checkable invariant for the observability layer.
+    collisions: u64,
 }
 
 impl BankSequencer {
@@ -73,6 +77,7 @@ impl BankSequencer {
             y: Pc::new(0),
             z: Pc::new(0),
             prev_bank: NUM_BANKS as BankId - 1,
+            collisions: 0,
         }
     }
 
@@ -80,6 +85,9 @@ impl BankSequencer {
     /// two-block window.
     pub fn next_bank(&mut self, addr: Pc) -> BankId {
         let bank = bank_for(self.y, self.prev_bank);
+        // Branchless probe of the §6 conflict-freedom invariant (compiles
+        // to a setcc+add; the plain path pays no branch for it).
+        self.collisions += u64::from(bank == self.prev_bank);
         self.y = self.z;
         self.z = addr;
         self.prev_bank = bank;
@@ -89,6 +97,12 @@ impl BankSequencer {
     /// The bank assigned to the previous fetch block.
     pub fn prev_bank(&self) -> BankId {
         self.prev_bank
+    }
+
+    /// Successive-fetch-block bank collisions seen so far. Always 0 — §6's
+    /// conflict-freedom guarantee, as a checkable counter.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
     }
 }
 
@@ -186,5 +200,17 @@ mod tests {
         let a = BankSequencer::default();
         let b = BankSequencer::new();
         assert_eq!(a.prev_bank(), b.prev_bank());
+        assert_eq!(a.collisions(), 0);
+    }
+
+    #[test]
+    fn collision_counter_stays_zero_on_random_walks() {
+        let mut seq = BankSequencer::new();
+        let mut addr = 0x8_0000u64;
+        for i in 0..50_000u64 {
+            addr = addr.wrapping_add((i.wrapping_mul(2654435761) % 1024) * 32);
+            seq.next_bank(Pc::new(addr));
+        }
+        assert_eq!(seq.collisions(), 0, "§6 conflict-freedom violated");
     }
 }

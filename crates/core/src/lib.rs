@@ -32,6 +32,12 @@
 //!   of Figs 1 and 3.
 //! * [`smt`] — simultaneous multithreading support: per-thread history
 //!   registers over shared tables (§3).
+//! * [`observe`] — the opt-in [`observe::ObservedPredictor`] hook: a
+//!   state-identical observed step returning per-branch [`Provenance`]
+//!   (votes, chooser decision, §4.2 update action, serving bank) plus the
+//!   §6 bank-collision invariant counter.
+//!
+//! [`Provenance`]: ev8_predictors::provenance::Provenance
 //! * [`backup`] — the §9 future-work proposal: a late, confidence-gated
 //!   perceptron backing up the EV8 predictor.
 //!
@@ -60,6 +66,7 @@ pub mod fetch;
 pub mod index;
 pub mod lghist;
 pub mod line_predictor;
+pub mod observe;
 pub mod pipeline;
 pub mod predictor;
 pub mod ras;

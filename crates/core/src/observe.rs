@@ -1,0 +1,128 @@
+//! The predictor-side observability hook: [`ObservedPredictor`].
+//!
+//! The paper's arguments are component-level — which bank served a
+//! prediction, what the chooser did, whether the §6 bank sequence really
+//! is conflict-free — so the simulator needs a per-branch provenance
+//! channel from the predictor. This trait is that channel: an *opt-in*
+//! extension of [`BranchPredictor`] whose observed step performs exactly
+//! the same state transition as [`BranchPredictor::predict_and_update`]
+//! but returns the full [`Provenance`] of each conditional branch.
+//!
+//! Following the fault-injection subsystem's design, the observed path is
+//! a **separate entry point**: `simulate` in `ev8-sim` keeps calling the
+//! plain `predict_and_update`, and only the `simulate_observed` loop goes
+//! through this trait. The plain hot path carries no observer check at
+//! all (see the `observe_hook` group in `BENCH_sim.json`).
+
+use ev8_predictors::provenance::Provenance;
+use ev8_predictors::twobcgskew::TwoBcGskew;
+use ev8_predictors::BranchPredictor;
+use ev8_trace::BranchRecord;
+
+use crate::predictor::Ev8Predictor;
+
+/// A branch predictor that can report per-branch provenance.
+///
+/// Implementations must make the observed step *state-identical* to the
+/// plain [`BranchPredictor::predict_and_update`]: running the same trace
+/// through either entry point leaves the predictor in the same state and
+/// produces the same predictions. The unit and property suites check
+/// this for both implementations.
+pub trait ObservedPredictor: BranchPredictor {
+    /// Processes one trace record exactly like
+    /// [`BranchPredictor::predict_and_update`], returning the full
+    /// [`Provenance`] for conditional records (`None` otherwise).
+    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance>;
+
+    /// The §6 successive-fetch-block bank-collision count, for predictors
+    /// with banked storage (`None` when the predictor has no bank
+    /// sequencer). Must be 0 on every EV8 run — the conflict-free
+    /// interleave is a construction guarantee, and the observability
+    /// layer asserts it.
+    fn bank_collisions(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl ObservedPredictor for Ev8Predictor {
+    #[inline]
+    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance> {
+        Ev8Predictor::predict_and_update_observed(self, record)
+    }
+
+    #[inline]
+    fn bank_collisions(&self) -> Option<u64> {
+        Some(Ev8Predictor::bank_collisions(self))
+    }
+}
+
+impl ObservedPredictor for TwoBcGskew {
+    /// Mirrors the default [`BranchPredictor::predict_and_update`]
+    /// routing: conditional records go through the provenance-producing
+    /// update, everything else through
+    /// [`BranchPredictor::note_noncond`] (a no-op for 2Bc-gskew).
+    #[inline]
+    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance> {
+        if record.kind.is_conditional() {
+            Some(self.predict_update_observed(record.pc, record.outcome))
+        } else {
+            self.note_noncond(record);
+            None
+        }
+    }
+}
+
+impl<P: ObservedPredictor + ?Sized> ObservedPredictor for &mut P {
+    #[inline]
+    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance> {
+        (**self).predict_and_update_observed(record)
+    }
+
+    #[inline]
+    fn bank_collisions(&self) -> Option<u64> {
+        (**self).bank_collisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev8_predictors::twobcgskew::TwoBcGskewConfig;
+    use ev8_trace::{BranchKind, Outcome, Pc};
+
+    #[test]
+    fn gskew_observed_routing_matches_plain_routing() {
+        let mut plain = TwoBcGskew::new(TwoBcGskewConfig::equal(8, 6));
+        let mut observed = plain.clone();
+        let records = [
+            BranchRecord::conditional(Pc::new(0x100), Pc::new(0x200), true),
+            BranchRecord::always_taken(Pc::new(0x200), Pc::new(0x300), BranchKind::Call),
+            BranchRecord::conditional(Pc::new(0x300), Pc::new(0x100), false),
+        ];
+        for rec in &records {
+            let p = plain.predict_and_update(rec);
+            let prov = observed.predict_and_update_observed(rec);
+            assert_eq!(p, prov.map(|v| v.overall));
+            assert_eq!(prov.is_some(), rec.kind.is_conditional());
+        }
+        assert_eq!(
+            ObservedPredictor::bank_collisions(&observed),
+            None,
+            "unbanked 2Bc-gskew reports no collision counter"
+        );
+        assert_eq!(plain.history().bits(), observed.history().bits());
+    }
+
+    #[test]
+    fn ev8_reports_a_zero_collision_counter() {
+        let mut p = Ev8Predictor::ev8();
+        for i in 0..200u64 {
+            let pc = Pc::new(0x1_0000 + i * 0x40);
+            let rec = BranchRecord::conditional(pc, Pc::new(pc.as_u64() + 0x40), i % 3 != 0);
+            let prov = p.predict_and_update_observed(&rec).expect("conditional");
+            assert_eq!(prov.outcome, Outcome::from(i % 3 != 0));
+            assert!(prov.bank.is_some());
+        }
+        assert_eq!(ObservedPredictor::bank_collisions(&p), Some(0));
+    }
+}

@@ -17,6 +17,7 @@
 
 use ev8_predictors::counter::Counter2;
 use ev8_predictors::history::GlobalHistory;
+use ev8_predictors::provenance::{Provenance, UpdateAction};
 use ev8_predictors::skew::{xor_fold, InfoVector};
 use ev8_predictors::table::SplitCounterTable;
 use ev8_predictors::twobcgskew::ChosenComponent;
@@ -282,17 +283,26 @@ impl Ev8Predictor {
 
     /// The §4.2 partial update policy (identical to the 2Bc-gskew policy
     /// in `ev8-predictors`, applied to the EV8's constrained indices).
-    fn apply_partial_update(&mut self, idx: Indices, d: Ev8Prediction, outcome: Outcome) {
+    /// Returns `(action, meta written)` for the observed path; the plain
+    /// path discards the pair, which is free (both values fall out of
+    /// branches the update already takes).
+    fn apply_partial_update(
+        &mut self,
+        idx: Indices,
+        d: Ev8Prediction,
+        outcome: Outcome,
+    ) -> (UpdateAction, bool) {
         let predictions_differ = d.bim != d.majority;
         if d.overall == outcome {
             let all_agree = d.bim == d.g0 && d.g0 == d.g1;
             if all_agree {
-                return;
+                return (UpdateAction::StrengthenSkipped, false);
             }
             if predictions_differ {
                 self.meta.strengthen(idx.meta);
             }
             self.strengthen_participants(idx, &d, d.chosen, outcome);
+            (UpdateAction::Strengthened, predictions_differ)
         } else if predictions_differ {
             let majority_was_right = d.majority == outcome;
             self.meta.train(idx.meta, Outcome::from(majority_was_right));
@@ -307,11 +317,14 @@ impl Ev8Predictor {
             };
             if new_overall == outcome {
                 self.strengthen_participants(idx, &d, new_chosen, outcome);
+                (UpdateAction::ChooserFirst, true)
             } else {
                 self.train_all(idx, outcome);
+                (UpdateAction::TableCorrected, true)
             }
         } else {
             self.train_all(idx, outcome);
+            (UpdateAction::TableCorrected, false)
         }
     }
 
@@ -364,6 +377,44 @@ impl Ev8Predictor {
     pub fn current_bank(&self) -> BankId {
         self.current_bank
     }
+
+    /// Successive-fetch-block bank collisions observed by the §6 bank
+    /// sequencer — always 0 by construction (the observability layer
+    /// asserts this).
+    pub fn bank_collisions(&self) -> u64 {
+        self.banks.collisions()
+    }
+
+    /// Opt-in observed step: performs exactly the state transition of
+    /// [`BranchPredictor::predict_and_update`] and, for conditional
+    /// branches, returns the full [`Provenance`] (per-table votes, chooser
+    /// decision, §4.2 update action, serving bank).
+    #[inline]
+    pub fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance> {
+        self.advance_to(record);
+        let provenance = if record.kind.is_conditional() {
+            let idx = self.indices(record.pc);
+            let d = self.predict_at(idx);
+            let (action, meta_trained) = self.apply_partial_update(idx, d, record.outcome);
+            Some(Provenance {
+                pc: record.pc,
+                outcome: record.outcome,
+                bim: d.bim,
+                g0: d.g0,
+                g1: d.g1,
+                majority: d.majority,
+                chosen: d.chosen,
+                overall: d.overall,
+                action,
+                meta_trained,
+                bank: Some(self.current_bank),
+            })
+        } else {
+            None
+        };
+        self.apply_branch(record);
+        provenance
+    }
 }
 
 impl BranchPredictor for Ev8Predictor {
@@ -391,7 +442,7 @@ impl BranchPredictor for Ev8Predictor {
         if record.kind.is_conditional() {
             let idx = self.indices(record.pc);
             let d = self.predict_at(idx);
-            self.apply_partial_update(idx, d, record.outcome);
+            let _ = self.apply_partial_update(idx, d, record.outcome);
         }
         self.apply_branch(record);
     }
@@ -401,7 +452,7 @@ impl BranchPredictor for Ev8Predictor {
         let prediction = if record.kind.is_conditional() {
             let idx = self.indices(record.pc);
             let d = self.predict_at(idx);
-            self.apply_partial_update(idx, d, record.outcome);
+            let _ = self.apply_partial_update(idx, d, record.outcome);
             Some(d.overall)
         } else {
             None
@@ -635,6 +686,44 @@ mod tests {
             wordline: WordlineMode::AddressOnly,
         }));
         assert_ne!(ev8, addr_only);
+    }
+
+    #[test]
+    fn observed_step_is_state_identical_to_plain_step() {
+        let mut plain = Ev8Predictor::ev8();
+        let mut observed = Ev8Predictor::ev8();
+        let mut x = 0xABCD_EF01u64;
+        for i in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x1_0000 + (i % 61) * 0x20;
+            let rec = if x >> 63 != 0 {
+                taken(pc, pc + 0x40)
+            } else {
+                not_taken(pc)
+            };
+            let p = plain.predict_and_update(&rec);
+            let prov = observed.predict_and_update_observed(&rec);
+            assert_eq!(p, prov.map(|v| v.overall));
+            if let Some(v) = prov {
+                // The bank is captured at prediction time (the fetch block
+                // containing the branch), before apply_branch advances it.
+                assert!(v.bank.expect("EV8 provenance carries a bank") < 4);
+            }
+        }
+        assert_eq!(plain.visible_history(), observed.visible_history());
+        assert_eq!(plain.current_bank(), observed.current_bank());
+        assert_eq!(observed.bank_collisions(), 0);
+    }
+
+    #[test]
+    fn observed_noncond_records_yield_no_provenance() {
+        let mut p = Ev8Predictor::ev8();
+        let rec = BranchRecord::always_taken(
+            Pc::new(0x1000),
+            Pc::new(0x2000),
+            ev8_trace::BranchKind::Unconditional,
+        );
+        assert!(p.predict_and_update_observed(&rec).is_none());
     }
 
     #[test]

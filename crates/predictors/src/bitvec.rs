@@ -106,6 +106,20 @@ impl BitVec {
         self.words.len()
     }
 
+    /// Reads backing word `word` (crate-internal: lets the split-table
+    /// hot path fuse a get-then-set into one load and one store).
+    #[inline]
+    pub(crate) fn word(&self, word: usize) -> u64 {
+        self.words[word]
+    }
+
+    /// Overwrites backing word `word` (crate-internal companion of
+    /// [`BitVec::word`]; callers must only change live bits).
+    #[inline]
+    pub(crate) fn set_word(&mut self, word: usize, value: u64) {
+        self.words[word] = value;
+    }
+
     /// Mutable access to a backing word (for multi-bit burst faults).
     /// Bits of the final word beyond `len()` are unused padding; writers
     /// may scribble on them, readers never observe them.
@@ -208,19 +222,35 @@ impl Counter2Table {
     }
 
     /// Trains the counter at `index` toward `outcome` (saturating).
+    ///
+    /// Single read-modify-write of the backing word: the lane shift is
+    /// computed once and the word is bounds-checked once (the get-then-set
+    /// formulation did both twice, which showed up in the table-layout
+    /// bench).
     #[inline]
     pub fn train(&mut self, index: usize, outcome: Outcome) {
-        let mut c = self.get(index);
-        c.train(outcome);
-        self.set(index, c);
+        assert!(index < self.entries, "counter index {index} out of bounds");
+        let shift = (index & 31) * 2;
+        let word = &mut self.words[index >> 5];
+        let cur = (*word >> shift) & 0b11;
+        // Branchless saturating step: +1 when taken, -1 when not.
+        // (cur + 2t - 1 clamped to 0..=3; outcome bits are data-dependent
+        // in the hot loop, so a conditional here mispredicts constantly.)
+        let t = u64::from(outcome.is_taken());
+        let next = (cur + (t << 1)).saturating_sub(1).min(3);
+        *word = (*word & !(0b11u64 << shift)) | (next << shift);
     }
 
-    /// Strengthens the counter at `index` in its current direction.
+    /// Strengthens the counter at `index` in its current direction
+    /// (same single-word RMW as [`Counter2Table::train`]).
     #[inline]
     pub fn strengthen(&mut self, index: usize) {
-        let mut c = self.get(index);
-        c.strengthen();
-        self.set(index, c);
+        assert!(index < self.entries, "counter index {index} out of bounds");
+        let shift = (index & 31) * 2;
+        let word = &mut self.words[index >> 5];
+        let cur = (*word >> shift) & 0b11;
+        let next = if cur >= 2 { 0b11 } else { 0b00 };
+        *word = (*word & !(0b11u64 << shift)) | (next << shift);
     }
 
     /// Iterates the counters in index order (for tests and diagnostics).

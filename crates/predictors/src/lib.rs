@@ -56,6 +56,7 @@ pub mod introspect;
 pub mod local;
 pub mod perceptron;
 mod predictor;
+pub mod provenance;
 pub mod skew;
 pub mod table;
 pub mod tournament;

@@ -1,0 +1,197 @@
+//! Per-branch prediction/update provenance for 2Bc-gskew observability.
+//!
+//! The paper's accuracy arguments are *component-level*: the chooser-first
+//! partial update (§4.2), which bank provided the used prediction, and how
+//! often the majority vote overrules a wrong bank. None of that is visible
+//! in an aggregate misp/KI number. [`Provenance`] captures, for one dynamic
+//! conditional branch, every per-table vote, the chooser's decision, and
+//! the exact §4.2 update action the predictor took — enough for an
+//! observer to reconstruct the full attribution of a run (see
+//! `ev8_sim::observe`).
+//!
+//! Producing a [`Provenance`] is an *opt-in* entry point
+//! (`TwoBcGskew::predict_update_observed`,
+//! `ev8_core::Ev8Predictor::predict_and_update_observed`); the plain
+//! update paths return the same [`UpdateAction`] internally but discard it,
+//! so the hot loop carries no observation cost.
+
+use ev8_trace::{Outcome, Pc};
+
+use crate::twobcgskew::ChosenComponent;
+
+/// What the §4.2 partial update policy did for one resolved branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateAction {
+    /// Rationale 1: the prediction was correct and BIM, G0 and G1 all
+    /// agreed — no counter is strengthened ("a counter can be stolen
+    /// without destroying the majority").
+    StrengthenSkipped,
+    /// Correct prediction with disagreeing banks: the participating
+    /// tables (and, when the two sides differed, the chooser) were
+    /// strengthened.
+    Strengthened,
+    /// Rationale 2: on a misprediction with the two sides disagreeing,
+    /// the chooser was retrained *first* and the re-evaluated choice was
+    /// correct — so the banks were only strengthened, not retrained.
+    ChooserFirst,
+    /// The misprediction was not recoverable through the chooser (both
+    /// sides wrong, or the chooser still picked the wrong side after
+    /// retraining): every bank was retrained toward the outcome.
+    TableCorrected,
+}
+
+impl UpdateAction {
+    /// Number of distinct actions (for fixed-size attribution arrays).
+    pub const COUNT: usize = 4;
+
+    /// A dense index in `0..COUNT`, stable across runs.
+    pub fn index(self) -> usize {
+        match self {
+            UpdateAction::StrengthenSkipped => 0,
+            UpdateAction::Strengthened => 1,
+            UpdateAction::ChooserFirst => 2,
+            UpdateAction::TableCorrected => 3,
+        }
+    }
+
+    /// A short stable label (used by the JSONL event stream and tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateAction::StrengthenSkipped => "strengthen_skipped",
+            UpdateAction::Strengthened => "strengthened",
+            UpdateAction::ChooserFirst => "chooser_first",
+            UpdateAction::TableCorrected => "table_corrected",
+        }
+    }
+
+    /// All actions in [`UpdateAction::index`] order.
+    pub const ALL: [UpdateAction; Self::COUNT] = [
+        UpdateAction::StrengthenSkipped,
+        UpdateAction::Strengthened,
+        UpdateAction::ChooserFirst,
+        UpdateAction::TableCorrected,
+    ];
+}
+
+/// Full provenance of one dynamic conditional branch: what every table
+/// voted, what the chooser did, what came out, and how the update policy
+/// reacted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// Branch address.
+    pub pc: Pc,
+    /// Resolved outcome.
+    pub outcome: Outcome,
+    /// BIM bank vote.
+    pub bim: Outcome,
+    /// G0 bank vote.
+    pub g0: Outcome,
+    /// G1 bank vote.
+    pub g1: Outcome,
+    /// Majority of (BIM, G0, G1) — the e-gskew side.
+    pub majority: Outcome,
+    /// The side the meta-predictor chose.
+    pub chosen: ChosenComponent,
+    /// The overall prediction delivered.
+    pub overall: Outcome,
+    /// The §4.2 update action taken for this branch.
+    pub action: UpdateAction,
+    /// Whether the chooser (Meta) received a write operation (train or
+    /// strengthen) for this branch.
+    pub meta_trained: bool,
+    /// The predictor bank that served this branch's fetch block
+    /// (`Some` only for the banked `ev8_core` predictor).
+    pub bank: Option<u8>,
+}
+
+impl Provenance {
+    /// True when the delivered prediction matched the outcome.
+    pub fn correct(&self) -> bool {
+        self.overall == self.outcome
+    }
+
+    /// True when the chooser's decision mattered: the bimodal and
+    /// majority sides disagreed.
+    pub fn meta_decisive(&self) -> bool {
+        self.bim != self.majority
+    }
+
+    /// When the chooser was decisive, whether it picked the correct side
+    /// (the sides disagree, so exactly one of them equals the outcome).
+    /// `None` when both sides agreed and the choice was moot.
+    pub fn meta_chose_correctly(&self) -> Option<bool> {
+        self.meta_decisive().then(|| self.correct())
+    }
+
+    /// A 3-bit vote pattern in `0..8`: bit 2 = BIM correct, bit 1 = G0
+    /// correct, bit 0 = G1 correct. Pattern 7 is unanimous-right,
+    /// pattern 0 unanimous-wrong.
+    pub fn vote_pattern(&self) -> usize {
+        (usize::from(self.bim == self.outcome) << 2)
+            | (usize::from(self.g0 == self.outcome) << 1)
+            | usize::from(self.g1 == self.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov(bim: bool, g0: bool, g1: bool, chosen: ChosenComponent, outcome: bool) -> Provenance {
+        let (bim, g0, g1) = (Outcome::from(bim), Outcome::from(g0), Outcome::from(g1));
+        let votes = bim.as_bit() + g0.as_bit() + g1.as_bit();
+        let majority = Outcome::from(votes >= 2);
+        let overall = match chosen {
+            ChosenComponent::Majority => majority,
+            ChosenComponent::Bimodal => bim,
+        };
+        Provenance {
+            pc: Pc::new(0x1000),
+            outcome: Outcome::from(outcome),
+            bim,
+            g0,
+            g1,
+            majority,
+            chosen,
+            overall,
+            action: UpdateAction::Strengthened,
+            meta_trained: false,
+            bank: None,
+        }
+    }
+
+    #[test]
+    fn action_indices_are_dense_and_stable() {
+        for (i, a) in UpdateAction::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert!(!a.label().is_empty());
+        }
+        assert_eq!(UpdateAction::ALL.len(), UpdateAction::COUNT);
+    }
+
+    #[test]
+    fn decisiveness_and_correctness() {
+        // BIM says taken, G0/G1 say not-taken: majority = NT, decisive.
+        let p = prov(true, false, false, ChosenComponent::Majority, false);
+        assert!(p.meta_decisive());
+        assert!(p.correct());
+        assert_eq!(p.meta_chose_correctly(), Some(true));
+        // Same votes, chooser on the (wrong) bimodal side.
+        let p = prov(true, false, false, ChosenComponent::Bimodal, false);
+        assert!(!p.correct());
+        assert_eq!(p.meta_chose_correctly(), Some(false));
+        // Unanimous: the choice is moot.
+        let p = prov(true, true, true, ChosenComponent::Bimodal, true);
+        assert!(!p.meta_decisive());
+        assert_eq!(p.meta_chose_correctly(), None);
+    }
+
+    #[test]
+    fn vote_pattern_bits() {
+        let p = prov(true, false, true, ChosenComponent::Majority, true);
+        // BIM right (bit 2), G0 wrong, G1 right (bit 0).
+        assert_eq!(p.vote_pattern(), 0b101);
+        let p = prov(false, false, false, ChosenComponent::Bimodal, true);
+        assert_eq!(p.vote_pattern(), 0);
+    }
+}

@@ -131,39 +131,63 @@ impl SplitCounterTable {
     }
 
     /// Trains the counter at `index` toward `outcome` (read-modify-write
-    /// through the split arrays). Writes each array only when its bit
-    /// actually changes, as the hardware's write-enable logic would.
+    /// through the split arrays). Each array's write counter moves only
+    /// when its bit actually changes, as the hardware's write-enable
+    /// logic would count it.
+    ///
+    /// Branch-free on the raw bits (no [`Counter2`] round-trip): one word
+    /// load and one word store per array, a clamped arithmetic step, and
+    /// flag-derived counter increments. Outcome bits and counter states
+    /// are data-dependent in the simulate hot loop, so any conditional
+    /// here is a hardware branch that mispredicts constantly.
     #[inline]
     pub fn train(&mut self, index: usize, outcome: Outcome) {
-        let mut c = self.read(index);
-        let before = c;
-        c.train(outcome);
-        if c.prediction_bit() != before.prediction_bit() {
-            self.prediction.set(index, c.prediction_bit());
-            self.prediction_writes += 1;
-        }
-        if c.hysteresis_bits() != before.hysteresis_bits() {
-            self.hysteresis
-                .set(index & self.hysteresis_mask, c.hysteresis_bits());
-            self.hysteresis_writes += 1;
-        }
+        assert!(
+            index < self.prediction.len(),
+            "bit index {index} out of bounds"
+        );
+        let hidx = index & self.hysteresis_mask;
+        let (pw, pb) = (index >> 6, (index & 63) as u32);
+        let (hw, hb) = (hidx >> 6, (hidx & 63) as u32);
+        let pword = self.prediction.word(pw);
+        let hword = self.hysteresis.word(hw);
+        let p = (pword >> pb) & 1;
+        let h = (hword >> hb) & 1;
+        let cur = (p << 1) | h;
+        let t = u64::from(outcome.is_taken());
+        let next = (cur + (t << 1)).saturating_sub(1).min(3);
+        let pn = next >> 1;
+        let hn = next & 1;
+        // Same-value stores are invisible (write counters key off the
+        // actual bit diff), so both stores run unconditionally.
+        self.prediction
+            .set_word(pw, (pword & !(1u64 << pb)) | (pn << pb));
+        self.hysteresis
+            .set_word(hw, (hword & !(1u64 << hb)) | (hn << hb));
+        self.prediction_writes += u64::from(pn != p);
+        self.hysteresis_writes += u64::from(hn != h);
     }
 
     /// Strengthens the counter at `index` in its current direction. Under
     /// partial update this is the only write a correct prediction causes,
     /// and it touches only the hysteresis array.
+    ///
+    /// Saturating toward the current direction makes the hysteresis bit a
+    /// copy of the prediction bit (01→00, 10→11; 00/11 already there), so
+    /// the whole operation is one compare against the prediction bit.
     #[inline]
     pub fn strengthen(&mut self, index: usize) {
-        let mut c = self.read(index);
-        let before = c.hysteresis_bits();
-        c.strengthen();
+        let p = u64::from(self.prediction.get(index));
+        let hidx = index & self.hysteresis_mask;
+        let (hw, hb) = (hidx >> 6, (hidx & 63) as u32);
+        let hword = self.hysteresis.word(hw);
+        let h = (hword >> hb) & 1;
         // The prediction bit cannot change when strengthening; write only
-        // hysteresis, as the EV8 hardware does.
-        if c.hysteresis_bits() != before {
-            self.hysteresis
-                .set(index & self.hysteresis_mask, c.hysteresis_bits());
-            self.hysteresis_writes += 1;
-        }
+        // hysteresis, as the EV8 hardware does (branch-free, same
+        // unconditional-store shape as `train`).
+        self.hysteresis
+            .set_word(hw, (hword & !(1u64 << hb)) | (p << hb));
+        self.hysteresis_writes += u64::from(h != p);
     }
 
     /// Writes to the prediction array so far.

@@ -22,6 +22,7 @@ use crate::egskew::majority;
 use crate::history::GlobalHistory;
 use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
+use crate::provenance::{Provenance, UpdateAction};
 use crate::skew::InfoVector;
 use crate::table::SplitCounterTable;
 
@@ -423,7 +424,11 @@ impl TwoBcGskew {
         self.g1.train(idx.g1, outcome);
     }
 
-    fn update_partial(&mut self, idx: Indices, outcome: Outcome) {
+    /// Applies the §4.2 partial update and classifies what it did. The
+    /// returned pair is `(action, meta written)`; the plain update path
+    /// discards it (the values fall out of branches already taken, so
+    /// producing them costs nothing).
+    fn update_partial(&mut self, idx: Indices, outcome: Outcome) -> (UpdateAction, bool) {
         let (d, _) = self.detail_at(idx);
         let predictions_differ = d.bim != d.majority;
 
@@ -432,51 +437,90 @@ impl TwoBcGskew {
             // a counter can be stolen without destroying the majority.
             let all_agree = d.bim == d.g0 && d.g0 == d.g1;
             if all_agree {
-                return;
+                return (UpdateAction::StrengthenSkipped, false);
             }
             if predictions_differ {
                 // Strengthen Meta toward its (correct) current choice.
                 self.meta.strengthen(idx.meta);
             }
             self.strengthen_participants(idx, &d, d.chosen, outcome);
-        } else {
-            if predictions_differ {
-                // Rationale 2: first update the chooser, then recompute the
-                // overall prediction with the new chooser value.
-                let majority_was_right = d.majority == outcome;
-                self.meta.train(idx.meta, Outcome::from(majority_was_right));
-                let new_chosen = if self.meta.read(idx.meta).prediction().is_taken() {
-                    ChosenComponent::Majority
-                } else {
-                    ChosenComponent::Bimodal
-                };
-                let new_overall = match new_chosen {
-                    ChosenComponent::Majority => d.majority,
-                    ChosenComponent::Bimodal => d.bim,
-                };
-                if new_overall == outcome {
-                    // "correct prediction: strengthens all participating
-                    // tables"
-                    self.strengthen_participants(idx, &d, new_chosen, outcome);
-                } else {
-                    // "misprediction: update all banks"
-                    self.train_all(idx, outcome);
-                }
+            (UpdateAction::Strengthened, predictions_differ)
+        } else if predictions_differ {
+            // Rationale 2: first update the chooser, then recompute the
+            // overall prediction with the new chooser value.
+            let majority_was_right = d.majority == outcome;
+            self.meta.train(idx.meta, Outcome::from(majority_was_right));
+            let new_chosen = if self.meta.read(idx.meta).prediction().is_taken() {
+                ChosenComponent::Majority
             } else {
-                // Both predictions wrong: nothing for the chooser to
-                // learn; retrain all banks toward the outcome.
+                ChosenComponent::Bimodal
+            };
+            let new_overall = match new_chosen {
+                ChosenComponent::Majority => d.majority,
+                ChosenComponent::Bimodal => d.bim,
+            };
+            if new_overall == outcome {
+                // "correct prediction: strengthens all participating
+                // tables"
+                self.strengthen_participants(idx, &d, new_chosen, outcome);
+                (UpdateAction::ChooserFirst, true)
+            } else {
+                // "misprediction: update all banks"
                 self.train_all(idx, outcome);
+                (UpdateAction::TableCorrected, true)
             }
+        } else {
+            // Both predictions wrong: nothing for the chooser to
+            // learn; retrain all banks toward the outcome.
+            self.train_all(idx, outcome);
+            (UpdateAction::TableCorrected, false)
         }
     }
 
-    fn update_total(&mut self, idx: Indices, outcome: Outcome) {
+    fn update_total(&mut self, idx: Indices, outcome: Outcome) -> (UpdateAction, bool) {
         let (d, _) = self.detail_at(idx);
-        if d.bim != d.majority {
+        let meta_trained = d.bim != d.majority;
+        if meta_trained {
             self.meta
                 .train(idx.meta, Outcome::from(d.majority == outcome));
         }
         self.train_all(idx, outcome);
+        (UpdateAction::TableCorrected, meta_trained)
+    }
+
+    /// Opt-in observed update: performs exactly the state transition of
+    /// [`BranchPredictor::update`] and returns the full [`Provenance`] of
+    /// the branch (votes, chooser decision, §4.2 action).
+    ///
+    /// Only supported for immediate updates: with a commit window the
+    /// update action is unknowable until the delayed commit, so this
+    /// asserts `commit_window == 0`.
+    #[inline]
+    pub fn predict_update_observed(&mut self, pc: Pc, outcome: Outcome) -> Provenance {
+        assert_eq!(
+            self.config.commit_window, 0,
+            "observed updates require immediate (commit_window = 0) updates"
+        );
+        let idx = self.indices(pc);
+        let (d, _) = self.detail_at(idx);
+        let (action, meta_trained) = match self.config.update_policy {
+            UpdatePolicy::Partial => self.update_partial(idx, outcome),
+            UpdatePolicy::Total => self.update_total(idx, outcome),
+        };
+        self.history.push(outcome);
+        Provenance {
+            pc,
+            outcome,
+            bim: d.bim,
+            g0: d.g0,
+            g1: d.g1,
+            majority: d.majority,
+            chosen: d.chosen,
+            overall: d.overall,
+            action,
+            meta_trained,
+            bank: None,
+        }
     }
 }
 
@@ -542,10 +586,10 @@ impl BranchPredictor for TwoBcGskew {
         let idx = self.indices(pc);
         if self.config.commit_window == 0 {
             // Immediate update — the paper's simulation methodology.
-            match self.config.update_policy {
+            let _ = match self.config.update_policy {
                 UpdatePolicy::Partial => self.update_partial(idx, outcome),
                 UpdatePolicy::Total => self.update_total(idx, outcome),
-            }
+            };
         } else {
             // Commit-time update: the indices were computed under the
             // speculative (prediction-time) history; the counter write
@@ -554,10 +598,10 @@ impl BranchPredictor for TwoBcGskew {
             self.pending.push_back((idx, outcome));
             if self.pending.len() > self.config.commit_window {
                 let (cidx, coutcome) = self.pending.pop_front().expect("non-empty");
-                match self.config.update_policy {
+                let _ = match self.config.update_policy {
                     UpdatePolicy::Partial => self.update_partial(cidx, coutcome),
                     UpdatePolicy::Total => self.update_total(cidx, coutcome),
-                }
+                };
             }
         }
         // History is updated speculatively at prediction time on the real
@@ -897,6 +941,76 @@ mod tests {
         assert_ne!(before.g1, after.g1, "g1 vote must invert");
         assert_eq!(before.bim, after.bim);
         assert_eq!(before.g0, after.g0);
+    }
+
+    #[test]
+    fn observed_update_is_state_identical_to_plain_update() {
+        let mut plain = TwoBcGskew::new(TwoBcGskewConfig::equal(8, 6));
+        let mut observed = plain.clone();
+        let mut x = 0xD1B5_4A32u64;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = Pc::new(0x1000 + (i % 53) * 4);
+            let o = Outcome::from((x >> 33) & 0b111 != 0);
+            let before = observed.predict_detail(pc);
+            plain.update(pc, o);
+            let p = observed.predict_update_observed(pc, o);
+            assert_eq!(p.overall, before.overall);
+            assert_eq!(p.chosen, before.chosen);
+        }
+        assert_eq!(plain.history().bits(), observed.history().bits());
+        assert_eq!(plain.write_traffic(), observed.write_traffic());
+        // Spot-check counter state through a fresh prediction pass.
+        for i in 0..53u64 {
+            let pc = Pc::new(0x1000 + i * 4);
+            assert_eq!(plain.predict_detail(pc), observed.predict_detail(pc));
+        }
+    }
+
+    #[test]
+    fn observed_actions_classify_the_section_4_2_branches() {
+        // Rationale 1: correct + unanimous => strengthen skipped.
+        let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(6, 0));
+        let pc = Pc::new(0x100);
+        for _ in 0..6 {
+            p.update(pc, Outcome::Taken);
+        }
+        let prov = p.predict_update_observed(pc, Outcome::Taken);
+        assert!(prov.correct());
+        assert_eq!(prov.action, UpdateAction::StrengthenSkipped);
+        assert!(!prov.meta_trained);
+
+        // Rationale 2 recovery: bimodal right, majority wrong, meta on
+        // majority with a weak counter => chooser-first.
+        let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(6, 0));
+        let idx = p.indices(pc);
+        p.bim.write(idx.bim, Counter2::new(3));
+        p.g0.write(idx.g0, Counter2::new(0));
+        p.g1.write(idx.g1, Counter2::new(0));
+        p.meta.write(idx.meta, Counter2::new(2));
+        let prov = p.predict_update_observed(pc, Outcome::Taken);
+        assert!(!prov.correct());
+        assert_eq!(prov.action, UpdateAction::ChooserFirst);
+        assert!(prov.meta_trained);
+        assert!(prov.meta_decisive());
+
+        // Both sides wrong => table-corrected, chooser untouched.
+        let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(6, 0));
+        let idx = p.indices(pc);
+        p.bim.write(idx.bim, Counter2::new(0));
+        p.g0.write(idx.g0, Counter2::new(0));
+        p.g1.write(idx.g1, Counter2::new(0));
+        let prov = p.predict_update_observed(pc, Outcome::Taken);
+        assert_eq!(prov.action, UpdateAction::TableCorrected);
+        assert!(!prov.meta_trained);
+        assert_eq!(prov.vote_pattern(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit_window")]
+    fn observed_update_rejects_commit_windows() {
+        let mut p = TwoBcGskew::new(TwoBcGskewConfig::equal(6, 0).with_commit_window(4));
+        p.predict_update_observed(Pc::new(0x100), Outcome::Taken);
     }
 
     #[test]

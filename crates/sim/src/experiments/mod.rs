@@ -26,6 +26,7 @@
 //! | [`backup`] | §9 — perceptron backup hierarchy |
 //! | [`update_traffic`] | §4.2 — partial-update accuracy and write traffic |
 //! | [`aliasing`] | §4 — interference vs static footprint |
+//! | [`attribution`] | observability — per-component provenance, §6 invariants |
 //! | [`seu`] | robustness — misp/KI under soft-error injection |
 //! | [`scaling`] | calibration — misp/KI convergence with trace length |
 //!
@@ -44,6 +45,7 @@ use crate::simulator::simulate;
 use crate::sweep::run_parallel;
 
 pub mod aliasing;
+pub mod attribution;
 pub mod backup;
 pub mod delayed_update;
 pub mod fig10;

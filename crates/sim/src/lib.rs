@@ -16,6 +16,12 @@
 //!   commit-time model lives in
 //!   `TwoBcGskewConfig::with_commit_window` (validated by
 //!   [`experiments::delayed_update`]).
+//! * [`observe`] — the opt-in observability layer: [`simulate_observed`]
+//!   threads an [`observe::Observer`] through a dedicated loop (again a
+//!   separate entry point — the plain hot path carries no hook), feeding
+//!   per-branch provenance into attribution counters, runtime invariant
+//!   checks (§6 bank collisions, exact count reconciliation) and an
+//!   optional JSONL event stream.
 //! * [`metrics`] — [`SimResult`] with misp/KI,
 //!   accuracy and counts.
 //! * [`sweep`] — parallel execution of simulation jobs over worker
@@ -42,9 +48,11 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod observe;
 pub mod report;
 pub mod simulator;
 pub mod sweep;
 
 pub use metrics::SimResult;
+pub use observe::simulate_observed;
 pub use simulator::{simulate, simulate_stale_update, simulate_with_faults};

@@ -24,11 +24,29 @@ pub struct SimResult {
 
 impl SimResult {
     /// Mispredictions per 1000 instructions — the paper's metric.
+    ///
+    /// An empty run (zero instructions) has no meaningful rate; asking for
+    /// one almost always means a trace failed to generate or a scale
+    /// rounded to nothing, so debug builds panic to surface the bug.
+    /// Release builds return 0.0 (the historical behavior). Callers that
+    /// can legitimately see empty runs should use
+    /// [`SimResult::checked_misp_per_ki`].
     pub fn misp_per_ki(&self) -> f64 {
+        debug_assert!(
+            self.instructions > 0,
+            "misp_per_ki on an empty run (no instructions) — \
+             was the trace empty or the scale rounded to zero?"
+        );
+        self.checked_misp_per_ki().unwrap_or(0.0)
+    }
+
+    /// Mispredictions per 1000 instructions, or `None` for an empty run
+    /// (zero instructions) where the rate is undefined.
+    pub fn checked_misp_per_ki(&self) -> Option<f64> {
         if self.instructions == 0 {
-            0.0
+            None
         } else {
-            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+            Some(self.mispredictions as f64 * 1000.0 / self.instructions as f64)
         }
     }
 
@@ -55,19 +73,25 @@ impl ToJson for SimResult {
             .field("instructions", &self.instructions)
             .field("conditional_branches", &self.conditional_branches)
             .field("mispredictions", &self.mispredictions)
-            .field("misp_per_ki", &self.misp_per_ki());
+            .field("misp_per_ki", &self.checked_misp_per_ki());
         o.finish_into(out);
     }
 }
 
 impl fmt::Display for SimResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display must never panic, so it reports an empty run honestly
+        // instead of going through the asserting accessor.
+        let mispki = match self.checked_misp_per_ki() {
+            Some(v) => format!("{v:.3}"),
+            None => "n/a (empty run)".to_owned(),
+        };
         write!(
             f,
-            "{} / {}: {:.3} misp/KI ({:.2}% accuracy, {} mispredictions / {} branches)",
+            "{} / {}: {} misp/KI ({:.2}% accuracy, {} mispredictions / {} branches)",
             self.trace,
             self.predictor,
-            self.misp_per_ki(),
+            mispki,
             self.accuracy() * 100.0,
             self.mispredictions,
             self.conditional_branches
@@ -109,10 +133,19 @@ mod tests {
     }
 
     #[test]
-    fn empty_run_is_well_defined() {
+    fn empty_run_is_detectable() {
         let r = SimResult::default();
-        assert_eq!(r.misp_per_ki(), 0.0);
+        assert_eq!(r.checked_misp_per_ki(), None);
         assert_eq!(r.accuracy(), 1.0);
-        assert!(!r.to_string().is_empty());
+        // Display and JSON stay total: no panic, explicit markers.
+        assert!(r.to_string().contains("n/a (empty run)"));
+        assert!(r.to_json().contains(r#""misp_per_ki":null"#));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn empty_run_misp_per_ki_panics_in_debug() {
+        let _ = SimResult::default().misp_per_ki();
     }
 }

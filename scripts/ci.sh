@@ -59,6 +59,23 @@ if [ "$faults_elapsed" -gt "$FAULTS_BUDGET" ]; then
     exit 1
 fi
 
+# Observability smoke, budgeted like the suites above: the golden
+# misprediction fixture (exact counters for every benchmark × predictor
+# pair — re-bless intended changes with EV8_BLESS_GOLDEN=1) plus one
+# pass of the attribution experiment at one-sample scale, which
+# exercises the observed simulation loop end-to-end and asserts the
+# reconciliation and §6 zero-collision invariants in-process.
+OBSERVE_BUDGET="${EV8_OBSERVE_BUDGET:-120}"
+observe_start=$(date +%s)
+run cargo test -q --test golden_misp --offline
+run env EV8_SCALE=0.002 cargo run -q --release --offline -p ev8-bench --bin attribution
+observe_elapsed=$(( $(date +%s) - observe_start ))
+echo "==> observability wall-clock: ${observe_elapsed}s (budget ${OBSERVE_BUDGET}s)"
+if [ "$observe_elapsed" -gt "$OBSERVE_BUDGET" ]; then
+    echo "error: observability smoke exceeded its ${OBSERVE_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays

@@ -412,6 +412,32 @@ fn fetch_block_conditionals_accounted() {
 }
 
 #[test]
+fn attribution_reconciles_on_arbitrary_traces() {
+    check("attribution_reconciles_on_arbitrary_traces", CASES, |g| {
+        let records = g.vec(1..300, arb_record);
+        let mut b = TraceBuilder::new("prop");
+        for r in &records {
+            b.branch(*r);
+        }
+        let trace = b.finish();
+        // The observed run's attribution counters must reconcile exactly
+        // with the scoreboard (provider, action, vote and per-PC sums),
+        // and the §6 conflict-free banking invariant must hold: the
+        // collision counter stays 0 on *every* input, not just the suite.
+        let mut attr = ev8_sim::observe::Attribution::new();
+        let result = ev8_sim::simulate_observed(ev8_core::Ev8Predictor::ev8(), &trace, &mut attr);
+        if let Err(e) = attr.reconcile(&result) {
+            return Err(format!("attribution failed to reconcile: {e}"));
+        }
+        prop_assert_eq!(attr.bank_collisions, Some(0));
+        let cond = records.iter().filter(|r| r.kind.is_conditional()).count() as u64;
+        prop_assert_eq!(attr.predictions, cond);
+        prop_assert_eq!(attr.mispredictions, result.mispredictions);
+        Ok(())
+    });
+}
+
+#[test]
 fn pc_bit_field_consistency() {
     check("pc_bit_field_consistency", CASES, |g| {
         let addr = g.u64();
