@@ -281,13 +281,11 @@ fn main() {
             &ratio(median_ns(&observe_noop), median_ns(&observe_disabled)),
         );
     let json = out.finish();
-    // `EV8_BENCH_JSON` redirects the output (the CI smoke run points it
-    // at a scratch path so a one-sample run never overwrites the
-    // committed, properly-sampled numbers).
-    let path = std::env::var("EV8_BENCH_JSON")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").into());
-    match std::fs::write(&path, format!("{json}\n")) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    // Merge-on-write: this group's entry is keyed so other bench groups'
+    // history in the shared file survives this run (`EV8_BENCH_JSON`
+    // redirects, e.g. for the CI one-sample smoke).
+    match ev8_bench::merge_bench_json(&[("sim_hot_loop/m88ksim".to_owned(), json)]) {
+        Ok(path) => println!("merged sim_hot_loop/m88ksim into {path}"),
+        Err(e) => eprintln!("could not write bench json: {e}"),
     }
 }

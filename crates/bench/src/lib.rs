@@ -61,6 +61,38 @@ pub fn workers() -> usize {
     ev8_sim::sweep::default_workers()
 }
 
+/// Merges bench-result entries into the shared `BENCH_sim.json` file
+/// (or the `EV8_BENCH_JSON` override) instead of overwriting it, so the
+/// bench trajectory accumulates across groups and runs.
+///
+/// Each entry is a `("group/benchmark", raw JSON value)` pair; entries
+/// with a key already in the file replace it, new keys append. Keys
+/// without a `/` (the pre-merge single-object schema) and unparseable
+/// files are discarded — the first merged write resets such files to
+/// the keyed schema.
+///
+/// Returns the path written to, or the I/O error (benches report it and
+/// continue; results on stdout are never lost to a read-only checkout).
+pub fn merge_bench_json(entries: &[(String, String)]) -> std::io::Result<String> {
+    let path = bench_json_path();
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| ev8_util::json::parse_raw_object(&text).ok())
+        .unwrap_or_default();
+    let merged = ev8_util::json::merge_raw_object(&existing, entries, |key| key.contains('/'));
+    std::fs::write(&path, merged)?;
+    Ok(path)
+}
+
+/// The bench-results path: `EV8_BENCH_JSON` if set (the CI smoke points
+/// it at a scratch file so one-sample runs never touch the committed,
+/// properly-sampled numbers), else `BENCH_sim.json` at the workspace
+/// root.
+pub fn bench_json_path() -> String {
+    std::env::var("EV8_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").into())
+}
+
 /// Prints the standard run header for an experiment binary.
 pub fn print_header(what: &str, scale: f64) {
     println!(

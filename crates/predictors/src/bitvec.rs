@@ -175,7 +175,10 @@ pub struct Counter2Table {
 }
 
 /// Every 2-bit lane holding `0b01` — the weakly-not-taken initial state.
-const WEAKLY_NOT_TAKEN_FILL: u64 = 0x5555_5555_5555_5555;
+/// Public so callers that drive raw words through
+/// [`Counter2Table::step_packed`] can start from the same state as
+/// [`Counter2Table::new`].
+pub const WEAKLY_NOT_TAKEN_FILL: u64 = 0x5555_5555_5555_5555;
 
 impl Counter2Table {
     /// Creates a table of `2^index_bits` counters, all weakly not taken.
@@ -239,6 +242,42 @@ impl Counter2Table {
         let t = u64::from(outcome.is_taken());
         let next = (cur + (t << 1)).saturating_sub(1).min(3);
         *word = (*word & !(0b11u64 << shift)) | (next << shift);
+    }
+
+    /// Reads the prediction at `index` and trains the counter toward
+    /// `outcome`, in one read-modify-write of the backing word.
+    ///
+    /// Exactly equivalent to [`get`](Counter2Table::get)`.prediction()`
+    /// followed by [`train`](Counter2Table::train) — the fused form
+    /// exists for predict-then-immediately-update hot loops (bimodal,
+    /// gshare), which would otherwise compute the lane shift and
+    /// bounds-check the word twice per branch.
+    #[inline]
+    pub fn predict_and_train(&mut self, index: usize, outcome: Outcome) -> Outcome {
+        assert!(index < self.entries, "counter index {index} out of bounds");
+        Self::step_packed(&mut self.words[index >> 5], (index & 31) as u32, outcome)
+    }
+
+    /// Advances the 2-bit counter in `lane` (0..32) of a packed word
+    /// toward `outcome` and returns the *pre*-update prediction — the
+    /// single-word core of [`predict_and_train`](Self::predict_and_train)
+    /// exposed for callers that manage word storage themselves, so the
+    /// counter semantics stay defined here, in one place.
+    ///
+    /// Lanes above 31 wrap (only the low 5 bits of `lane` are used),
+    /// matching the `index & 31` selection the table methods perform.
+    #[inline]
+    pub fn step_packed(word: &mut u64, lane: u32, outcome: Outcome) -> Outcome {
+        let shift = (lane & 31) * 2;
+        let cur = (*word >> shift) & 0b11;
+        // Branchless saturating step: +1 when taken, -1 when not
+        // (cur + 2t - 1 clamped to 0..=3; outcome bits are
+        // data-dependent in the hot loop, so a conditional here would
+        // mispredict constantly).
+        let t = u64::from(outcome.is_taken());
+        let next = (cur + (t << 1)).saturating_sub(1).min(3);
+        *word = (*word & !(0b11u64 << shift)) | (next << shift);
+        Outcome::from(cur >= 2)
     }
 
     /// Strengthens the counter at `index` in its current direction
@@ -400,6 +439,47 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn bitvec_flip_bounds_checked() {
         BitVec::filled(10, 0).flip(10);
+    }
+
+    #[test]
+    fn predict_and_train_fuses_get_then_train() {
+        // The fused RMW must be indistinguishable from get().prediction()
+        // followed by train(), from every counter state, for both
+        // outcomes — 33 counters so lanes cross a word boundary.
+        let mut fused = Counter2Table::new(6);
+        let mut reference = Counter2Table::new(6);
+        let mut x = 0x1234_5678u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (x >> 32) as usize % 33;
+            let outcome = Outcome::from(x >> 63 != 0);
+            let expected = reference.get(idx).prediction();
+            reference.train(idx, outcome);
+            assert_eq!(fused.predict_and_train(idx, outcome), expected);
+        }
+        for i in 0..64 {
+            assert_eq!(fused.get(i), reference.get(i), "counter {i}");
+        }
+    }
+
+    #[test]
+    fn step_packed_is_the_single_word_core_of_the_table_rmw() {
+        // Driving a raw word with step_packed must track a real table
+        // exactly, from the same weakly-not-taken start, across every
+        // lane and both outcomes.
+        let mut word = WEAKLY_NOT_TAKEN_FILL;
+        let mut reference = Counter2Table::new(5); // exactly one word
+        let mut x = 0xFEED_F00Du64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lane = ((x >> 32) & 31) as u32;
+            let outcome = Outcome::from(x >> 63 != 0);
+            let got = Counter2Table::step_packed(&mut word, lane, outcome);
+            assert_eq!(got, reference.predict_and_train(lane as usize, outcome));
+        }
+        for i in 0..32 {
+            assert_eq!((word >> (i * 2)) & 0b11, reference.get(i).value() as u64);
+        }
     }
 
     #[test]

@@ -4,13 +4,13 @@
 //! gshare whose best history length on the benchmark set was 20 (equal to
 //! `log2` of the table size).
 
-use ev8_trace::{Outcome, Pc};
+use ev8_trace::{BranchRecord, Outcome, Pc};
 
 use crate::bitvec::Counter2Table;
 use crate::history::GlobalHistory;
 use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
-use crate::skew::xor_fold;
+use crate::skew::xor_fold64;
 
 /// A gshare predictor: `2^index_bits` 2-bit counters indexed by
 /// `PC XOR global-history`.
@@ -53,8 +53,9 @@ impl Gshare {
         }
     }
 
+    #[inline]
     fn index(&self, pc: Pc) -> usize {
-        let folded_history = xor_fold(self.history.bits() as u128, self.index_bits);
+        let folded_history = xor_fold64(self.history.bits(), self.index_bits);
         let pc_bits = pc.bits(2, self.index_bits);
         (pc_bits ^ folded_history) as usize
     }
@@ -66,14 +67,31 @@ impl Gshare {
 }
 
 impl BranchPredictor for Gshare {
+    #[inline]
     fn predict(&self, pc: Pc) -> Outcome {
         self.table.get(self.index(pc)).prediction()
     }
 
+    #[inline]
     fn update(&mut self, pc: Pc, outcome: Outcome) {
         let idx = self.index(pc);
         self.table.train(idx, outcome);
         self.history.push(outcome);
+    }
+
+    /// One fused table access per branch instead of the default's two
+    /// index computations and two word RMWs. Bit-identical to
+    /// `predict` + `update`: the index depends only on the history
+    /// *before* the push, which is exactly what both calls see.
+    #[inline]
+    fn predict_and_update(&mut self, record: &BranchRecord) -> Option<Outcome> {
+        if !record.kind.is_conditional() {
+            return None;
+        }
+        let idx = self.index(record.pc);
+        let prediction = self.table.predict_and_train(idx, record.outcome);
+        self.history.push(record.outcome);
+        Some(prediction)
     }
 
     fn name(&self) -> String {
@@ -176,6 +194,42 @@ mod tests {
         assert_eq!(p.history.bits(), before, "predict must not mutate");
         p.update(pc, Outcome::Taken);
         assert_eq!(p.history.bits(), (before << 1) | 1);
+    }
+
+    #[test]
+    fn fused_predict_and_update_matches_default_formulation() {
+        // The override must be bit-identical to the trait default
+        // (predict, then update_record) on every record kind.
+        use ev8_trace::BranchKind;
+        let mut fused = Gshare::new(10, 14);
+        let mut reference = Gshare::new(10, 14);
+        let mut x = 0x9E37_79B9u64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let record = if i % 7 == 3 {
+                BranchRecord::always_taken(Pc::new(0x5000), Pc::new(0x6000), BranchKind::Call)
+            } else {
+                BranchRecord::conditional(
+                    Pc::new(0x1000 + (x % 64) * 4),
+                    Pc::new(0x2000),
+                    x >> 63 != 0,
+                )
+            };
+            let got = fused.predict_and_update(&record);
+            let expected = if record.kind.is_conditional() {
+                let p = reference.predict(record.pc);
+                reference.update_record(&record);
+                Some(p)
+            } else {
+                reference.update_record(&record);
+                None
+            };
+            assert_eq!(got, expected, "record {i}");
+        }
+        // Post-run state must match too: probe predictions everywhere.
+        for pc in (0..4096u64).step_by(4) {
+            assert_eq!(fused.predict(Pc::new(pc)), reference.predict(Pc::new(pc)));
+        }
     }
 
     #[test]

@@ -26,6 +26,11 @@ use ev8_trace::{Outcome, Pc};
 pub struct GlobalHistory {
     bits: u64,
     length: u32,
+    /// `length` low bits set — precomputed so the per-branch
+    /// [`push_bit`](GlobalHistory::push_bit) is a branchless
+    /// shift-or-mask (the push sits on every predictor's per-record
+    /// critical path).
+    mask: u64,
 }
 
 impl GlobalHistory {
@@ -36,7 +41,15 @@ impl GlobalHistory {
     /// Panics if `length > 64`.
     pub fn new(length: u32) -> Self {
         assert!(length <= 64, "global history limited to 64 bits");
-        GlobalHistory { bits: 0, length }
+        GlobalHistory {
+            bits: 0,
+            length,
+            mask: if length == 64 {
+                u64::MAX
+            } else {
+                (1u64 << length) - 1
+            },
+        }
     }
 
     /// The configured history length in bits.
@@ -62,10 +75,7 @@ impl GlobalHistory {
     #[inline]
     pub fn push_bit(&mut self, bit: u64) {
         debug_assert!(bit <= 1);
-        self.bits = (self.bits << 1) | bit;
-        if self.length < 64 {
-            self.bits &= (1u64 << self.length) - 1;
-        }
+        self.bits = ((self.bits << 1) | bit) & self.mask;
     }
 
     /// The `i`-th most recent bit (`h_i` in the paper's notation; `h0` is

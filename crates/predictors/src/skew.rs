@@ -121,6 +121,29 @@ pub fn xor_fold(value: u128, n: u32) -> u64 {
     acc
 }
 
+/// [`xor_fold`] specialized to 64-bit information vectors: identical
+/// result for any value that fits in a `u64`, without the 128-bit shift
+/// sequences. Single-table schemes whose history register is a plain
+/// `u64` (gshare) call this on their per-branch index path.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 64.
+#[inline]
+pub fn xor_fold64(value: u64, n: u32) -> u64 {
+    assert!((1..=64).contains(&n), "width must be 1..=64");
+    if n == 64 {
+        return value;
+    }
+    let mut v = value;
+    let mut acc = 0u64;
+    while v != 0 {
+        acc ^= v & mask(n);
+        v >>= n;
+    }
+    acc
+}
+
 /// An (address, history) information vector packed into the two `n`-bit
 /// halves consumed by [`skew_index`], as in the gskew papers: the history
 /// occupies the low positions (it is better distributed than addresses,
@@ -258,6 +281,21 @@ mod tests {
         // Folding into 64 bits just XORs the two halves of a u128.
         let v = ((0x1111u128) << 64) | 0x2222u128;
         assert_eq!(xor_fold(v, 64), 0x1111 ^ 0x2222);
+    }
+
+    #[test]
+    fn xor_fold64_agrees_with_the_u128_fold() {
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            for n in [1, 5, 12, 20, 31, 63, 64] {
+                assert_eq!(xor_fold64(x, n), xor_fold(x as u128, n), "x={x:#x} n={n}");
+            }
+        }
+        assert_eq!(xor_fold64(0, 10), 0);
+        assert_eq!(xor_fold64(u64::MAX, 64), u64::MAX);
     }
 
     #[test]

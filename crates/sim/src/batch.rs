@@ -1,0 +1,374 @@
+//! Batched multi-configuration simulation over a [`FlatTrace`].
+//!
+//! The paper's evaluation is a grid: every figure runs many predictor
+//! configurations over the same traces. Serial sweeps pay the trace's
+//! memory traffic once *per configuration*; [`simulate_many`] decodes
+//! each record once and steps all K configurations on it before moving
+//! to the next, so the trace streams through the cache a single time
+//! regardless of K. Combined with the packed [`FlatTrace`] layout
+//! (~10 bytes/record instead of 24) this is the workspace's sweep
+//! engine: parallelism covers benchmarks (`sweep::run_parallel`),
+//! batching covers configurations.
+//!
+//! # Why results are bit-identical to serial runs
+//!
+//! Each configuration owns its own predictor state; the only shared
+//! input is the trace, which is read-only. Interleaving the K state
+//! machines over one record stream therefore performs exactly the same
+//! sequence of (record, state) transitions each machine would see alone,
+//! and [`FlatTrace`] iteration reconstructs records bit-identically to
+//! the source [`Trace`](ev8_trace::Trace) (pinned by its unit tests). So
+//! `simulate_many(&mut [p1, .., pK], &flat)` returns exactly what K
+//! serial [`simulate`](crate::simulate) calls would — the workspace
+//! equivalence suite (`tests/batched_equivalence.rs`) asserts this over
+//! arbitrary generated traces, including the predictors'
+//! write-accounting counters, and `tests/golden_misp.rs` pins the
+//! batched path against the golden fixture.
+//!
+//! # Example
+//!
+//! ```
+//! use ev8_predictors::bimodal::Bimodal;
+//! use ev8_predictors::gshare::Gshare;
+//! use ev8_predictors::BranchPredictor;
+//! use ev8_sim::batch::simulate_many;
+//! use ev8_trace::{BranchRecord, FlatTrace, Pc, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! for i in 0..100u64 {
+//!     b.branch(BranchRecord::conditional(Pc::new(0x40), Pc::new(0x80), i % 3 != 0));
+//! }
+//! let flat = FlatTrace::from_trace(&b.finish());
+//! let mut configs: Vec<Box<dyn BranchPredictor>> =
+//!     vec![Box::new(Bimodal::new(10)), Box::new(Gshare::new(10, 8))];
+//! let results = simulate_many(&mut configs, &flat);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].conditional_branches, 100);
+//! ```
+
+use ev8_predictors::bitvec::Counter2Table;
+use ev8_predictors::gshare::Gshare;
+use ev8_predictors::BranchPredictor;
+use ev8_trace::{FlatTrace, Outcome};
+
+use crate::metrics::SimResult;
+
+/// Runs one predictor over a [`FlatTrace`] with immediate update —
+/// exactly [`simulate`](crate::simulate) but streaming the packed
+/// columns instead of the AoS record array.
+///
+/// The `sim_hot_loop` bench records the flat-vs-AoS single-config
+/// speedup under the `sweep_batched` group.
+pub fn simulate_flat<P: BranchPredictor>(mut predictor: P, trace: &FlatTrace) -> SimResult {
+    let mut result = SimResult {
+        trace: trace.name().to_owned(),
+        predictor: predictor.name(),
+        instructions: trace.instruction_count(),
+        ..SimResult::default()
+    };
+    trace.for_each(|record| {
+        if let Some(prediction) = predictor.predict_and_update(record) {
+            result.conditional_branches += 1;
+            result.mispredictions += u64::from(prediction != record.outcome);
+        }
+    });
+    result
+}
+
+/// Steps K predictor configurations over a [`FlatTrace`] in one pass,
+/// returning one [`SimResult`] per configuration, in input order,
+/// bit-identical to K serial [`simulate`](crate::simulate) calls (see
+/// the module docs for why).
+///
+/// `predictors` is borrowed mutably rather than consumed so callers can
+/// inspect post-run state (e.g. write-accounting counters) — pass
+/// `&mut [Box<dyn BranchPredictor>]` for heterogeneous sweeps or
+/// `&mut [concrete]` for homogeneous ones.
+///
+/// All per-result allocations (trace name, predictor names) happen
+/// before the hot loop; the loop itself touches only the packed trace
+/// columns, the predictor state, and two flat counter arrays.
+pub fn simulate_many<P: BranchPredictor>(
+    predictors: &mut [P],
+    trace: &FlatTrace,
+) -> Vec<SimResult> {
+    let k = predictors.len();
+    let mut results: Vec<SimResult> = predictors
+        .iter()
+        .map(|p| SimResult {
+            trace: trace.name().to_owned(),
+            predictor: p.name(),
+            instructions: trace.instruction_count(),
+            ..SimResult::default()
+        })
+        .collect();
+    // Hot counters live apart from the string-bearing results so the
+    // loop never touches the heap-allocated name fields. The config
+    // loop zips predictors with their counters (no index arithmetic, no
+    // bounds checks), the K predictor bodies carry no data dependencies
+    // between each other, and the misprediction tally is branchless.
+    let mut counts = vec![(0u64, 0u64); k];
+    trace.for_each(|record| {
+        for (predictor, (conditional, mispredicted)) in predictors.iter_mut().zip(counts.iter_mut())
+        {
+            if let Some(prediction) = predictor.predict_and_update(record) {
+                *conditional += 1;
+                *mispredicted += u64::from(prediction != record.outcome);
+            }
+        }
+    });
+    for (result, (conditional, mispredicted)) in results.iter_mut().zip(counts) {
+        result.conditional_branches = conditional;
+        result.mispredictions = mispredicted;
+    }
+    results
+}
+
+/// Runs a gshare history-length sweep — the Fig 6/7 sweep axis: one
+/// table geometry, many history lengths — over a [`FlatTrace`] in one
+/// pass, bit-identical to `histories.len()` serial
+/// [`simulate`](crate::simulate)`(Gshare::new(index_bits, h), ..)` calls.
+///
+/// This is the sweep engine's specialized path, and it is where batching
+/// buys more than amortized trace decode: the global history register is
+/// derived from trace outcomes alone, never from predictor state, so
+/// every configuration in a history-length sweep observes the *same*
+/// register and differs only in how many low bits it reads. A serial
+/// sweep must re-maintain that register once per configuration, and
+/// must re-decode every record (kind dispatch, gap/PC unpacking) once
+/// per configuration; this path pays for decode exactly once, up front,
+/// by projecting the conditional records into a dense one-u32-per-branch
+/// stream, then keeps one shared register plus one shared PC index
+/// field per branch and leaves only three operations per
+/// configuration per branch — mask, fold-XOR into the index, and the
+/// counter read-modify-write (with a branchless misprediction
+/// increment; the conditional-branch count is config-invariant and
+/// comes from the trace itself). For history lengths at most
+/// `2 * index_bits` (every sweep in the paper's figures) the XOR fold
+/// reduces to the branchless two-chunk form `(h & m) ^ (h >> index_bits)`;
+/// longer histories fall back to the general engine
+/// ([`simulate_many`]), which handles any configuration mix.
+///
+/// # Why this is bit-identical to serial
+///
+/// * Masking the rolling register at use (`hist & mask_h`) equals
+///   masking it at every push, because the mask is a contiguous low-bit
+///   mask: bits above position `h` can never flow back down.
+/// * The two-chunk fold equals [`xor_fold64`](ev8_predictors::skew::xor_fold64)
+///   whenever the value fits in `2 * index_bits` bits, which the
+///   fallback guard guarantees.
+/// * [`Gshare::predict_and_update`] computes its index before pushing
+///   history and only touches history on conditional records — mirrored
+///   exactly here, and pinned by the unit tests below plus the
+///   workspace equivalence suite.
+///
+/// # Panics
+///
+/// Panics if `index_bits` is outside `1..=30` or any history length
+/// exceeds 64 (the same bounds [`Gshare::new`] enforces).
+pub fn simulate_gshare_sweep(
+    index_bits: u32,
+    histories: &[u32],
+    trace: &FlatTrace,
+) -> Vec<SimResult> {
+    if histories.iter().any(|&h| h > 2 * index_bits) {
+        let mut configs: Vec<Gshare> = histories
+            .iter()
+            .map(|&h| Gshare::new(index_bits, h))
+            .collect();
+        return simulate_many(&mut configs, trace);
+    }
+
+    let mut results: Vec<SimResult> = histories
+        .iter()
+        .map(|&h| SimResult {
+            trace: trace.name().to_owned(),
+            // Matches Gshare::name() without allocating a table per
+            // config just to ask its name; pinned by the equivalence
+            // tests against serial Gshare runs.
+            predictor: format!("gshare {}K entries, h={h}", (1u64 << index_bits) / 1024),
+            instructions: trace.instruction_count(),
+            ..SimResult::default()
+        })
+        .collect();
+
+    let mut tables: Vec<Counter2Table> = histories
+        .iter()
+        .map(|_| Counter2Table::new(index_bits))
+        .collect();
+    let masks: Vec<u64> = histories.iter().map(|&h| (1u64 << h) - 1).collect();
+    // Per-config state is mispredictions alone: the conditional-branch
+    // count is a property of the trace, identical for every config, and
+    // already maintained by the flat view — so the inner loop carries
+    // one branchless add per config per branch and nothing else.
+    let mut misps: Vec<u64> = vec![0; histories.len()];
+    let low_mask = (1u64 << index_bits) - 1;
+
+    // One decode pass shared by every configuration: project the
+    // conditional records into a dense stream of one u32 each — the
+    // masked PC index field in the low bits, the outcome in bit 31
+    // (index_bits caps at 30, so the two never collide). A serial sweep
+    // re-decodes every record (kind check, gap/PC unpacking) once per
+    // configuration; here even the single batched pass stops paying for
+    // it, and the hot loop below becomes a plain slice walk with no
+    // closure call, no branch-kind test and one load of shared input
+    // per branch.
+    let mut stream: Vec<u32> = Vec::with_capacity(trace.conditional_count() as usize);
+    trace.for_each_conditional(|pc_shifted, outcome| {
+        let pcb = (pc_shifted & low_mask) as u32;
+        stream.push(pcb | (u32::from(outcome.is_taken()) << 31));
+    });
+
+    let mut hist: u64 = 0;
+    for &enc in &stream {
+        let taken = enc >> 31;
+        let pc_bits = u64::from(enc & 0x7FFF_FFFF);
+        let outcome = Outcome::from(taken == 1);
+        for ((table, &mask), misp) in tables.iter_mut().zip(&masks).zip(misps.iter_mut()) {
+            let h = hist & mask;
+            let idx = (pc_bits ^ (h & low_mask) ^ (h >> index_bits)) as usize;
+            let prediction = table.predict_and_train(idx, outcome);
+            *misp += u64::from(prediction != outcome);
+        }
+        hist = (hist << 1) | u64::from(taken);
+    }
+    for (result, misp) in results.iter_mut().zip(misps) {
+        result.conditional_branches = trace.conditional_count();
+        result.mispredictions = misp;
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::simulate;
+    use ev8_predictors::bimodal::Bimodal;
+    use ev8_predictors::gshare::Gshare;
+    use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+    use ev8_trace::{BranchKind, BranchRecord, Pc, Trace, TraceBuilder};
+
+    fn mixed_trace() -> Trace {
+        let mut b = TraceBuilder::new("mixed");
+        for i in 0..600u64 {
+            b.run(i % 7);
+            b.branch(BranchRecord::conditional(
+                Pc::new(0x1000 + (i % 13) * 8),
+                Pc::new(0x2000),
+                (i / 3) % 2 == 0,
+            ));
+            if i % 5 == 0 {
+                b.branch(BranchRecord::always_taken(
+                    Pc::new(0x3000),
+                    Pc::new(0x4000),
+                    BranchKind::Call,
+                ));
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn batched_matches_serial_exactly() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let mut batch: Vec<Box<dyn BranchPredictor>> = vec![
+            Box::new(Bimodal::new(10)),
+            Box::new(Gshare::new(10, 8)),
+            Box::new(TwoBcGskew::new(TwoBcGskewConfig::equal(9, 9))),
+        ];
+        let batched = simulate_many(&mut batch, &flat);
+        let serial = vec![
+            simulate(Bimodal::new(10), &t),
+            simulate(Gshare::new(10, 8), &t),
+            simulate(TwoBcGskew::new(TwoBcGskewConfig::equal(9, 9)), &t),
+        ];
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn flat_single_config_matches_serial() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        assert_eq!(
+            simulate_flat(Gshare::new(12, 10), &flat),
+            simulate(Gshare::new(12, 10), &t)
+        );
+    }
+
+    #[test]
+    fn batched_leaves_predictor_state_identical_to_serial() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let mut batched = [TwoBcGskew::new(TwoBcGskewConfig::equal(9, 9))];
+        simulate_many(&mut batched, &flat);
+        let mut serial = TwoBcGskew::new(TwoBcGskewConfig::equal(9, 9));
+        simulate(&mut serial, &t);
+        assert_eq!(batched[0].write_traffic(), serial.write_traffic());
+    }
+
+    /// The specialized gshare sweep path must agree with serial gshare
+    /// runs exactly — results, names, and instruction counts — across
+    /// the full history-length range it claims, including h = 0
+    /// (bimodal-like), h = index_bits, and h up to 2 * index_bits
+    /// (two-chunk fold active).
+    #[test]
+    fn gshare_sweep_matches_serial_exactly() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let histories = [0, 1, 5, 10, 14, 20];
+        let batched = simulate_gshare_sweep(10, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(10, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+    }
+
+    /// Histories beyond 2 * index_bits route through the generic engine
+    /// and must still match serial runs (the fold is no longer two
+    /// chunks there).
+    #[test]
+    fn gshare_sweep_long_history_fallback_matches_serial() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let histories = [4, 17, 40, 64];
+        let batched = simulate_gshare_sweep(8, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(8, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn gshare_sweep_empty_inputs() {
+        let flat = FlatTrace::from_trace(&mixed_trace());
+        assert!(simulate_gshare_sweep(12, &[], &flat).is_empty());
+        let empty = FlatTrace::from_trace(&Trace::default());
+        let results = simulate_gshare_sweep(12, &[0, 8], &empty);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].conditional_branches, 0);
+        assert_eq!(results[1].mispredictions, 0);
+    }
+
+    #[test]
+    fn empty_config_set_returns_no_results() {
+        let flat = FlatTrace::from_trace(&mixed_trace());
+        let mut none: Vec<Box<dyn BranchPredictor>> = Vec::new();
+        assert!(simulate_many(&mut none, &flat).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_results_per_config() {
+        let flat = FlatTrace::from_trace(&Trace::default());
+        let mut batch = [Bimodal::new(8), Bimodal::new(10)];
+        let results = simulate_many(&mut batch, &flat);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.conditional_branches, 0);
+            assert_eq!(r.mispredictions, 0);
+            assert_eq!(r.checked_misp_per_ki(), None);
+        }
+    }
+}

@@ -15,37 +15,53 @@
 //! is catastrophically worse and is why the EV8 maintains speculative
 //! history.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
-use ev8_trace::Trace;
+use ev8_predictors::BranchPredictor;
 
-use crate::experiments::suite_traces;
+use crate::batch::simulate_many;
+use crate::experiments::{suite_flat_traces, suite_traces};
 use crate::report::{ExperimentReport, TextTable};
-use crate::simulator::{simulate, simulate_stale_update};
+use crate::simulator::simulate_stale_update_with_scratch;
 use crate::sweep::run_parallel;
 
 /// Regenerates the immediate-vs-commit-time comparison with the given
 /// commit window.
 pub fn report(scale: f64, workers: usize, window: usize) -> ExperimentReport {
     type Job = Box<dyn FnOnce() -> (f64, f64, f64) + Send>;
+    // The immediate and commit-window configs batch over the flat view;
+    // the stale model drives predict/update separately and keeps the AoS
+    // walk (both views come from one cached generation).
     let traces = suite_traces(scale);
+    let flats = suite_flat_traces(scale);
     let jobs: Vec<Job> = traces
         .iter()
-        .map(|t| {
-            let t: Arc<Trace> = Arc::clone(t);
+        .zip(&flats)
+        .map(|(t, flat)| {
+            let t = Arc::clone(t);
+            let flat = Arc::clone(flat);
             Box::new(move || {
-                let imm = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &t);
-                let commit = simulate(
-                    TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_commit_window(window)),
-                    &t,
-                );
-                let stale = simulate_stale_update(
+                let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+                    Box::new(TwoBcGskew::new(TwoBcGskewConfig::size_512k())),
+                    Box::new(TwoBcGskew::new(
+                        TwoBcGskewConfig::size_512k().with_commit_window(window),
+                    )),
+                ];
+                let batched = simulate_many(&mut configs, &flat);
+                let mut scratch = VecDeque::new();
+                let stale = simulate_stale_update_with_scratch(
                     TwoBcGskew::new(TwoBcGskewConfig::size_512k()),
                     &t,
                     window,
+                    &mut scratch,
                 );
-                (imm.misp_per_ki(), commit.misp_per_ki(), stale.misp_per_ki())
+                (
+                    batched[0].misp_per_ki(),
+                    batched[1].misp_per_ki(),
+                    stale.misp_per_ki(),
+                )
             }) as Job
         })
         .collect();

@@ -37,11 +37,11 @@
 use std::sync::Arc;
 
 use ev8_predictors::BranchPredictor;
-use ev8_trace::Trace;
+use ev8_trace::{FlatTrace, Trace};
 use ev8_workloads::spec95;
 
+use crate::batch::simulate_many;
 use crate::metrics::SimResult;
-use crate::simulator::simulate;
 use crate::sweep::run_parallel;
 
 pub mod aliasing;
@@ -100,23 +100,62 @@ pub fn suite_traces(scale: f64) -> Vec<Arc<Trace>> {
     run_parallel(jobs, crate::sweep::default_workers())
 }
 
-/// Runs every (config, trace) pair in parallel; returns
-/// `results[config][trace]`.
+/// The eight suite traces as packed [`FlatTrace`] views, for config
+/// sweeps through [`run_grid`]/[`simulate_many`]. Generation and
+/// flattening are cached and parallel, like [`suite_traces`].
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn suite_flat_traces(scale: f64) -> Vec<Arc<FlatTrace>> {
+    assert!(scale > 0.0, "scale must be positive");
+    let jobs: Vec<Box<dyn FnOnce() -> Arc<FlatTrace> + Send>> = spec95::NAMES
+        .iter()
+        .map(|name| {
+            Box::new(move || spec95::cached_flat(name, scale).expect("all suite names are known"))
+                as Box<dyn FnOnce() -> Arc<FlatTrace> + Send>
+        })
+        .collect();
+    run_parallel(jobs, crate::sweep::default_workers())
+}
+
+/// Runs the full (config × trace) sweep; returns `results[config][trace]`.
+///
+/// Parallelism covers benchmarks — one job per trace — and batching
+/// covers configurations: each job instantiates every config fresh and
+/// steps all of them over its trace in a single [`simulate_many`] pass,
+/// so the trace's memory traffic is paid once regardless of how many
+/// configurations sweep over it. Results are bit-identical to the old
+/// one-job-per-(config, trace) serial grid.
 pub fn run_grid(
-    traces: &[Arc<Trace>],
+    traces: &[Arc<FlatTrace>],
     configs: &[(String, Factory)],
     workers: usize,
 ) -> Vec<Vec<SimResult>> {
-    let mut jobs: Vec<Box<dyn FnOnce() -> SimResult + Send>> = Vec::new();
-    for (_, factory) in configs {
-        for trace in traces {
-            let factory = Arc::clone(factory);
+    let factories: Vec<Factory> = configs.iter().map(|(_, f)| Arc::clone(f)).collect();
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<SimResult> + Send>> = traces
+        .iter()
+        .map(|trace| {
+            let factories = factories.clone();
             let trace = Arc::clone(trace);
-            jobs.push(Box::new(move || simulate(factory(), &trace)));
+            Box::new(move || {
+                let mut predictors: Vec<Box<dyn BranchPredictor>> =
+                    factories.iter().map(|f| f()).collect();
+                simulate_many(&mut predictors, &trace)
+            }) as Box<dyn FnOnce() -> Vec<SimResult> + Send>
+        })
+        .collect();
+    let per_trace = run_parallel(jobs, workers); // [trace][config]
+    let mut grid: Vec<Vec<SimResult>> = (0..configs.len())
+        .map(|_| Vec::with_capacity(traces.len()))
+        .collect();
+    for row in per_trace {
+        debug_assert_eq!(row.len(), configs.len());
+        for (config_idx, result) in row.into_iter().enumerate() {
+            grid[config_idx].push(result);
         }
     }
-    let flat = run_parallel(jobs, workers);
-    flat.chunks(traces.len()).map(|c| c.to_vec()).collect()
+    grid
 }
 
 /// Arithmetic mean of misp/KI over a row of results (the cross-benchmark
@@ -144,8 +183,20 @@ mod tests {
     }
 
     #[test]
+    fn flat_suite_mirrors_aos_suite() {
+        let flat = suite_flat_traces(0.0005);
+        let aos = suite_traces(0.0005);
+        assert_eq!(flat.len(), 8);
+        for (f, t) in flat.iter().zip(&aos) {
+            assert_eq!(f.name(), t.name());
+            assert_eq!(f.len(), t.len());
+            assert_eq!(f.instruction_count(), t.instruction_count());
+        }
+    }
+
+    #[test]
     fn grid_shape_and_ordering() {
-        let traces = suite_traces(0.0002);
+        let traces = suite_flat_traces(0.0002);
         let configs = vec![
             ("bimodal-small".to_owned(), factory(|| Bimodal::new(8))),
             ("bimodal-large".to_owned(), factory(|| Bimodal::new(14))),
@@ -160,6 +211,16 @@ mod tests {
         }
         let m = mean_mispki(&grid[0]);
         assert!(m.is_finite() && m >= 0.0);
+    }
+
+    #[test]
+    fn grid_matches_serial_simulation() {
+        let traces = suite_flat_traces(0.0002);
+        let configs = vec![("bimodal".to_owned(), factory(|| Bimodal::new(10)))];
+        let grid = run_grid(&traces, &configs, 2);
+        for (r, t) in grid[0].iter().zip(suite_traces(0.0002)) {
+            assert_eq!(*r, crate::simulator::simulate(Bimodal::new(10), &t));
+        }
     }
 
     #[test]

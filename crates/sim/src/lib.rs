@@ -16,6 +16,10 @@
 //!   commit-time model lives in
 //!   `TwoBcGskewConfig::with_commit_window` (validated by
 //!   [`experiments::delayed_update`]).
+//! * [`batch`] — the sweep engine: [`simulate_many`] steps K predictor
+//!   configurations per record in one pass over a packed
+//!   [`ev8_trace::FlatTrace`], bit-identical to K serial [`simulate`]
+//!   calls; [`simulate_flat`] is the single-config flat-trace loop.
 //! * [`observe`] — the opt-in observability layer: [`simulate_observed`]
 //!   threads an [`observe::Observer`] through a dedicated loop (again a
 //!   separate entry point — the plain hot path carries no hook), feeding
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod experiments;
 pub mod metrics;
 pub mod observe;
@@ -53,6 +58,9 @@ pub mod report;
 pub mod simulator;
 pub mod sweep;
 
+pub use batch::{simulate_flat, simulate_gshare_sweep, simulate_many};
 pub use metrics::SimResult;
 pub use observe::simulate_observed;
-pub use simulator::{simulate, simulate_stale_update, simulate_with_faults};
+pub use simulator::{
+    simulate, simulate_stale_update, simulate_stale_update_with_scratch, simulate_with_faults,
+};

@@ -92,9 +92,26 @@ pub fn simulate_with_faults<P: BranchPredictor + FaultTarget>(
 /// `TwoBcGskewConfig::with_commit_window`, validated by the
 /// [`crate::experiments::delayed_update`] experiment.
 pub fn simulate_stale_update<P: BranchPredictor>(
+    predictor: P,
+    trace: &Trace,
+    window: usize,
+) -> SimResult {
+    let mut inflight = VecDeque::with_capacity(window + 1);
+    simulate_stale_update_with_scratch(predictor, trace, window, &mut inflight)
+}
+
+/// [`simulate_stale_update`] with a caller-owned in-flight queue, so
+/// sweeps running many stale-update simulations (e.g. the
+/// [`crate::experiments::delayed_update`] window sweep) reuse one
+/// allocation instead of growing a fresh `VecDeque` per run.
+///
+/// The scratch is cleared on entry; its capacity (grown to at least
+/// `window + 1`) is what carries over between runs.
+pub fn simulate_stale_update_with_scratch<P: BranchPredictor>(
     mut predictor: P,
     trace: &Trace,
     window: usize,
+    inflight: &mut VecDeque<BranchRecord>,
 ) -> SimResult {
     let mut result = SimResult {
         trace: trace.name().to_owned(),
@@ -102,7 +119,10 @@ pub fn simulate_stale_update<P: BranchPredictor>(
         instructions: trace.instruction_count(),
         ..SimResult::default()
     };
-    let mut inflight: VecDeque<BranchRecord> = VecDeque::with_capacity(window + 1);
+    inflight.clear();
+    if inflight.capacity() <= window {
+        inflight.reserve(window + 1);
+    }
     for record in trace.iter() {
         if record.kind.is_conditional() {
             let prediction = predictor.predict(record.pc);

@@ -10,6 +10,8 @@
 //!   vocabulary types describing one dynamic branch.
 //! * [`Trace`] — an in-memory dynamic branch stream together with the total
 //!   instruction count (needed for the paper's misp/KI metric).
+//! * [`FlatTrace`] — a packed structure-of-arrays view of a [`Trace`] for
+//!   cache-dense simulation sweeps (see the [`flat`](FlatTrace) module).
 //! * [`codec`] — a compact binary on-disk trace format (whole-trace
 //!   read/write).
 //! * [`stream`] — incremental [`stream::TraceReader`] /
@@ -37,6 +39,7 @@
 mod builder;
 pub mod codec;
 mod error;
+mod flat;
 pub mod stats;
 pub mod stream;
 mod trace;
@@ -45,6 +48,7 @@ mod wire;
 
 pub use builder::TraceBuilder;
 pub use error::TraceError;
+pub use flat::{FlatIter, FlatTrace};
 pub use stats::TraceStats;
 pub use trace::{Iter, Trace};
 pub use types::{BranchKind, BranchRecord, Outcome, Pc};

@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use ev8_trace::Trace;
+use ev8_trace::{FlatTrace, Trace};
 
 use crate::program::{BehaviorMix, ProgramSpec};
 
@@ -210,6 +210,27 @@ pub fn cached_suite(scale: f64) -> Vec<Arc<Trace>> {
     NAMES
         .iter()
         .map(|n| cached(n, scale).expect("all suite names are known"))
+        .collect()
+}
+
+/// The packed [`FlatTrace`] view of `benchmark(name)` scaled by `scale`,
+/// served from the process-wide [`crate::cache`] like [`cached`] (the
+/// flat view and the AoS trace share one generation per key).
+///
+/// Returns `None` for an unknown benchmark name.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn cached_flat(name: &str, scale: f64) -> Option<Arc<FlatTrace>> {
+    Some(crate::cache::global().get_flat_scaled(&benchmark(name)?, scale))
+}
+
+/// Cached flat views for the whole suite at one scale, in Table 2 order.
+pub fn cached_flat_suite(scale: f64) -> Vec<Arc<FlatTrace>> {
+    NAMES
+        .iter()
+        .map(|n| cached_flat(n, scale).expect("all suite names are known"))
         .collect()
 }
 

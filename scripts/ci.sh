@@ -76,6 +76,21 @@ if [ "$observe_elapsed" -gt "$OBSERVE_BUDGET" ]; then
     exit 1
 fi
 
+# Sweep-engine smoke, budgeted: the batched-vs-serial equivalence suite
+# (simulate_many / simulate_gshare_sweep bit-identity over generated
+# traces, including predictor write-accounting state) must stay cheap —
+# it guards the sweep engine every experiment run leans on, so a budget
+# blowout here means trace memoization or the batched hot loop regressed.
+SWEEP_BUDGET="${EV8_SWEEP_BUDGET:-120}"
+sweep_start=$(date +%s)
+run cargo test -q --test batched_equivalence --offline
+sweep_elapsed=$(( $(date +%s) - sweep_start ))
+echo "==> batched_equivalence wall-clock: ${sweep_elapsed}s (budget ${SWEEP_BUDGET}s)"
+if [ "$sweep_elapsed" -gt "$SWEEP_BUDGET" ]; then
+    echo "error: batched_equivalence exceeded its ${SWEEP_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays
@@ -85,7 +100,11 @@ run cargo build --benches --offline
 if [ "$QUICK" -eq 0 ]; then
     # cargo runs bench binaries from the package directory, so the
     # redirect path must be absolute.
-    run env EV8_BENCH_SAMPLES=1 EV8_BENCH_JSON="$PWD/target/bench-smoke.json" \
+    # EV8_SWEEP_SCALE drops the sweep bench to smoke-sized traces; the
+    # recorded numbers in BENCH_sim.json come from a manual run at the
+    # bench's default scale.
+    run env EV8_BENCH_SAMPLES=1 EV8_SWEEP_SCALE=0.02 \
+        EV8_BENCH_JSON="$PWD/target/bench-smoke.json" \
         cargo bench --offline -p ev8-bench
 fi
 

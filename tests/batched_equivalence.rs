@@ -1,0 +1,187 @@
+//! Equivalence guarantees for the batched sweep engine: `simulate_many`
+//! over a packed `FlatTrace` must be *bit-identical* to K serial
+//! `simulate` calls over the source `Trace` — same `SimResult` fields
+//! and same post-run predictor state (checked through the 2Bc-gskew
+//! write-accounting counters, the most fragile observable).
+//!
+//! Property cases are driven by the in-tree deterministic harness
+//! (`ev8_util::prop`); a failure panics with an
+//! `EV8_PROP_CASE_SEED`/`EV8_PROP_SCALE` pair reproducing the minimal
+//! counterexample. The suite-level check (also run by the CI sweep
+//! smoke, see `scripts/ci.sh`) covers the real generated benchmarks.
+
+use ev8_util::prop::{check, Gen};
+use ev8_util::prop_assert_eq;
+
+use ev8_core::Ev8Predictor;
+use ev8_predictors::bimodal::Bimodal;
+use ev8_predictors::gshare::Gshare;
+use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+use ev8_predictors::BranchPredictor;
+use ev8_sim::{simulate, simulate_flat, simulate_many};
+use ev8_trace::{BranchKind, BranchRecord, FlatTrace, Outcome, Pc, Trace, TraceBuilder};
+use ev8_workloads::spec95;
+
+const CASES: u64 = 64;
+
+const KINDS: [BranchKind; 5] = [
+    BranchKind::Conditional,
+    BranchKind::Unconditional,
+    BranchKind::Call,
+    BranchKind::Return,
+    BranchKind::IndirectJump,
+];
+
+/// Arbitrary record, including wide-PC and wide-gap extremes so the
+/// flat view's escape side tables are exercised, not just the packed
+/// fast path.
+fn arb_record(g: &mut Gen) -> BranchRecord {
+    let kind = *g.choose(&KINDS);
+    let taken = g.bool() || kind.is_always_taken();
+    let pc = if g.range(0u32..16) == 0 {
+        // Past the u32 instruction-word range: forces the escape list.
+        0xFFFF_FFFF_0000_0000u64 | (g.u32() as u64 * 4)
+    } else {
+        g.u32() as u64 * 4
+    };
+    let gap = if g.range(0u32..16) == 0 {
+        g.range(255u32..100_000)
+    } else {
+        g.range(0u32..255)
+    };
+    BranchRecord {
+        pc: Pc::new(pc),
+        target: Pc::new(g.u32() as u64 * 4),
+        kind,
+        outcome: Outcome::from(taken),
+        gap,
+    }
+}
+
+fn arb_trace(g: &mut Gen) -> Trace {
+    let records = g.vec(0..400, arb_record);
+    let mut b = TraceBuilder::new("prop");
+    for r in &records {
+        b.branch(*r);
+    }
+    b.finish()
+}
+
+#[test]
+fn flat_view_reconstructs_arbitrary_traces_exactly() {
+    check(
+        "flat_view_reconstructs_arbitrary_traces_exactly",
+        CASES,
+        |g| {
+            let trace = arb_trace(g);
+            let flat = FlatTrace::from_trace(&trace);
+            prop_assert_eq!(flat.iter().collect::<Vec<_>>(), trace.records());
+            prop_assert_eq!(flat.len(), trace.len());
+            prop_assert_eq!(flat.instruction_count(), trace.instruction_count());
+            prop_assert_eq!(flat.conditional_count(), trace.conditional_count());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn simulate_many_is_bit_identical_to_serial_simulate() {
+    check(
+        "simulate_many_is_bit_identical_to_serial_simulate",
+        CASES,
+        |g| {
+            let trace = arb_trace(g);
+            let flat = FlatTrace::from_trace(&trace);
+            // A heterogeneous roster with varied index/history geometry so
+            // different state-machine families interleave in one pass;
+            // parameters are drawn once and used to build both rosters.
+            let bim_bits = g.range(4u32..12);
+            let gshare_bits = g.range(4u32..12);
+            let gshare_hist = g.range(0u32..16);
+            let gskew_bits = g.range(4u32..10);
+            let gskew_hist = g.range(0u32..12);
+            let mut batch: Vec<Box<dyn BranchPredictor>> = vec![
+                Box::new(Bimodal::new(bim_bits)),
+                Box::new(Gshare::new(gshare_bits, gshare_hist)),
+                Box::new(TwoBcGskew::new(TwoBcGskewConfig::equal(
+                    gskew_bits, gskew_hist,
+                ))),
+                Box::new(Ev8Predictor::ev8()),
+            ];
+            let serial = vec![
+                simulate(Bimodal::new(bim_bits), &trace),
+                simulate(Gshare::new(gshare_bits, gshare_hist), &trace),
+                simulate(
+                    TwoBcGskew::new(TwoBcGskewConfig::equal(gskew_bits, gskew_hist)),
+                    &trace,
+                ),
+                simulate(Ev8Predictor::ev8(), &trace),
+            ];
+            let batched = simulate_many(&mut batch, &flat);
+            prop_assert_eq!(batched, serial);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn simulate_many_matches_serial_write_accounting() {
+    // Exact SimResult equality plus exact predictor *state* equality:
+    // the write-enable counters record every table write the predictor
+    // performed, so equal traffic pins the full update sequence.
+    check(
+        "simulate_many_matches_serial_write_accounting",
+        CASES,
+        |g| {
+            let trace = arb_trace(g);
+            let flat = FlatTrace::from_trace(&trace);
+            let config = TwoBcGskewConfig::equal(g.range(4u32..10), g.range(0u32..12));
+            let mut batched_predictor = TwoBcGskew::new(config);
+            let mut serial_predictor = TwoBcGskew::new(config);
+            let batched = simulate_many(std::slice::from_mut(&mut batched_predictor), &flat);
+            let serial = simulate(&mut serial_predictor, &trace);
+            prop_assert_eq!(&batched[0], &serial);
+            prop_assert_eq!(
+                batched_predictor.write_traffic(),
+                serial_predictor.write_traffic()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn simulate_flat_equals_simulate_on_arbitrary_traces() {
+    check(
+        "simulate_flat_equals_simulate_on_arbitrary_traces",
+        CASES,
+        |g| {
+            let trace = arb_trace(g);
+            let flat = FlatTrace::from_trace(&trace);
+            let bits = g.range(4u32..12);
+            prop_assert_eq!(
+                simulate_flat(Gshare::new(bits, bits), &flat),
+                simulate(Gshare::new(bits, bits), &trace)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The CI sweep smoke (`scripts/ci.sh`, `EV8_SWEEP_BUDGET`): one batched
+/// 8-config sweep over real generated benchmarks, asserted equal to the
+/// serial results field-for-field.
+#[test]
+fn batched_suite_sweep_matches_serial_on_real_benchmarks() {
+    let histories = [0u32, 2, 4, 6, 8, 10, 12, 14];
+    for name in ["compress", "m88ksim", "go"] {
+        let trace = spec95::cached(name, 0.002).unwrap();
+        let flat = spec95::cached_flat(name, 0.002).unwrap();
+        let mut batch: Vec<Gshare> = histories.iter().map(|&h| Gshare::new(12, h)).collect();
+        let batched = simulate_many(&mut batch, &flat);
+        for (&h, b) in histories.iter().zip(&batched) {
+            let serial = simulate(Gshare::new(12, h), &trace);
+            assert_eq!(*b, serial, "{name} gshare h={h}");
+        }
+    }
+}

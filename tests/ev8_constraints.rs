@@ -81,8 +81,8 @@ fn ev8_predictor_handles_every_suite_benchmark() {
         .into_iter()
         .map(|name| {
             Box::new(move || {
-                let trace = spec95::cached(name, 0.002).unwrap();
-                let r = ev8_sim::simulate(Ev8Predictor::ev8(), &trace);
+                let trace = spec95::cached_flat(name, 0.002).unwrap();
+                let r = ev8_sim::simulate_flat(Ev8Predictor::ev8(), &trace);
                 assert!(
                     r.accuracy() > 0.6,
                     "{name}: EV8 accuracy {:.3} too low",

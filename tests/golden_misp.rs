@@ -22,7 +22,7 @@ use ev8_core::Ev8Predictor;
 use ev8_predictors::bimodal::Bimodal;
 use ev8_predictors::gshare::Gshare;
 use ev8_predictors::BranchPredictor;
-use ev8_sim::simulate;
+use ev8_sim::{simulate, simulate_many};
 use ev8_workloads::spec95;
 
 /// Fraction of the paper's 100M-instruction traces. Small enough to keep
@@ -110,6 +110,45 @@ fn misprediction_counters_match_golden_fixture() {
              EV8_BLESS_GOLDEN=1 cargo test --test golden_misp"
         );
     }
+}
+
+/// The same grid through the batched sweep engine: all three predictors
+/// stepped per branch in one pass over the packed flat view.
+fn current_table_batched() -> String {
+    let mut out = String::new();
+    for name in spec95::NAMES {
+        let flat = spec95::cached_flat(name, SCALE).expect("benchmark names are known");
+        let mut batch: Vec<Box<dyn BranchPredictor>> =
+            PREDICTORS.iter().map(|k| build(k)).collect();
+        for (key, r) in PREDICTORS.iter().zip(simulate_many(&mut batch, &flat)) {
+            writeln!(
+                out,
+                "{name} {key} {} {} {}",
+                r.instructions, r.conditional_branches, r.mispredictions
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn batched_path_matches_golden_fixture() {
+    // Pins `simulate_many` + `FlatTrace` against the same golden
+    // integers as the serial path — any divergence between the two
+    // engines shows up as a fixture diff here.
+    let path = fixture_path();
+    let want = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        // The bless run (serial test above) creates the file first.
+        Err(_) => return,
+    };
+    assert_eq!(
+        current_table_batched(),
+        want,
+        "batched sweep diverged from the golden fixture at {}",
+        path.display()
+    );
 }
 
 #[test]

@@ -2,15 +2,17 @@
 //! reduced scale. Full-scale numbers live in EXPERIMENTS.md; these tests
 //! pin the *directions* that must not regress.
 //!
-//! Traces come from the process-wide cache ([`spec95::cached`]) and the
-//! multi-benchmark loops fan out over [`run_parallel`], so the binary's
-//! wall clock is bounded by the slowest single simulation rather than
-//! the sum of all of them.
+//! Traces come from the process-wide cache as packed flat views
+//! ([`spec95::cached_flat`]); multi-benchmark loops fan out over
+//! [`run_parallel`] and multi-config comparisons batch over
+//! [`simulate_many`], so each trace streams through the cache once per
+//! benchmark job no matter how many configurations compare on it.
 
 use ev8_core::{Ev8Config, Ev8Predictor, HistoryMode};
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig, UpdatePolicy};
-use ev8_sim::simulate;
+use ev8_predictors::BranchPredictor;
 use ev8_sim::sweep::{default_workers, run_parallel};
+use ev8_sim::{simulate_flat, simulate_many};
 use ev8_workloads::spec95;
 
 #[test]
@@ -22,12 +24,13 @@ fn ev8_constraints_cost_little() {
         .into_iter()
         .map(|name| {
             Box::new(move || {
-                let trace = spec95::cached(name, 0.01).unwrap();
-                let ev8 = simulate(Ev8Predictor::ev8(), &trace).misp_per_ki();
-                let unconstrained =
-                    simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace)
-                        .misp_per_ki();
-                (ev8, unconstrained)
+                let trace = spec95::cached_flat(name, 0.01).unwrap();
+                let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+                    Box::new(Ev8Predictor::ev8()),
+                    Box::new(Ev8Predictor::new(Ev8Config::unconstrained_512k())),
+                ];
+                let results = simulate_many(&mut configs, &trace);
+                (results[0].misp_per_ki(), results[1].misp_per_ki())
             }) as Box<dyn FnOnce() -> (f64, f64) + Send>
         })
         .collect();
@@ -48,33 +51,30 @@ fn partial_update_beats_total_update() {
     // Partial update's benefit is a steady-state effect (better space
     // utilization under aliasing); short cold runs favour total update,
     // so this test runs at a fifth of the paper's trace length. One job
-    // per (benchmark, policy) pair: these are the suite's longest
-    // simulations, so they get the finest fan-out.
-    let jobs: Vec<Box<dyn FnOnce() -> (bool, u64) + Send>> = ["gcc", "vortex", "li"]
+    // per benchmark, both policies batched over one trace pass: these
+    // are the suite's longest simulations, and batching halves their
+    // trace traffic.
+    let jobs: Vec<Box<dyn FnOnce() -> (u64, u64) + Send>> = ["gcc", "vortex", "li"]
         .into_iter()
-        .flat_map(|name| {
-            [false, true].into_iter().map(move |total_policy| {
-                Box::new(move || {
-                    let trace = spec95::cached(name, 0.2).unwrap();
-                    let config = if total_policy {
-                        TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total)
-                    } else {
-                        TwoBcGskewConfig::size_512k()
-                    };
-                    let misses = simulate(TwoBcGskew::new(config), &trace).mispredictions;
-                    (total_policy, misses)
-                }) as Box<dyn FnOnce() -> (bool, u64) + Send>
-            })
+        .map(|name| {
+            Box::new(move || {
+                let trace = spec95::cached_flat(name, 0.2).unwrap();
+                let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+                    Box::new(TwoBcGskew::new(TwoBcGskewConfig::size_512k())),
+                    Box::new(TwoBcGskew::new(
+                        TwoBcGskewConfig::size_512k().with_update_policy(UpdatePolicy::Total),
+                    )),
+                ];
+                let results = simulate_many(&mut configs, &trace);
+                (results[0].mispredictions, results[1].mispredictions)
+            }) as Box<dyn FnOnce() -> (u64, u64) + Send>
         })
         .collect();
     let mut partial_total = 0u64;
     let mut total_total = 0u64;
-    for (total_policy, misses) in run_parallel(jobs, default_workers()) {
-        if total_policy {
-            total_total += misses;
-        } else {
-            partial_total += misses;
-        }
+    for (partial, total) in run_parallel(jobs, default_workers()) {
+        partial_total += partial;
+        total_total += total;
     }
     assert!(
         partial_total < total_total,
@@ -86,12 +86,13 @@ fn partial_update_beats_total_update() {
 fn half_hysteresis_is_nearly_free() {
     // Fig 8: "the effect of using half size hysteresis tables for G0 and
     // Meta is barely noticeable" (except on go).
-    let trace = spec95::cached("vortex", 0.2).unwrap();
-    let full = simulate(
-        TwoBcGskew::new(TwoBcGskewConfig::size_512k_small_bim()),
-        &trace,
-    );
-    let half = simulate(TwoBcGskew::new(TwoBcGskewConfig::ev8_size()), &trace);
+    let trace = spec95::cached_flat("vortex", 0.2).unwrap();
+    let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+        Box::new(TwoBcGskew::new(TwoBcGskewConfig::size_512k_small_bim())),
+        Box::new(TwoBcGskew::new(TwoBcGskewConfig::ev8_size())),
+    ];
+    let results = simulate_many(&mut configs, &trace);
+    let (full, half) = (&results[0], &results[1]);
     let delta = half.misp_per_ki() - full.misp_per_ki();
     assert!(
         delta < 2.0,
@@ -105,12 +106,15 @@ fn half_hysteresis_is_nearly_free() {
 fn long_history_beats_log2_history() {
     // §5.3 / Fig 6: history longer than log2(entries) pays off. Checked
     // on the correlation-heavy li analogue.
-    let trace = spec95::cached("li", 0.2).unwrap();
-    let best = simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace);
-    let log2 = simulate(
-        TwoBcGskew::new(TwoBcGskewConfig::size_512k().with_history_lengths(0, 16, 16, 16)),
-        &trace,
-    );
+    let trace = spec95::cached_flat("li", 0.2).unwrap();
+    let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+        Box::new(TwoBcGskew::new(TwoBcGskewConfig::size_512k())),
+        Box::new(TwoBcGskew::new(
+            TwoBcGskewConfig::size_512k().with_history_lengths(0, 16, 16, 16),
+        )),
+    ];
+    let results = simulate_many(&mut configs, &trace);
+    let (best, log2) = (&results[0], &results[1]);
     assert!(
         best.mispredictions <= log2.mispredictions,
         "long history ({}) should not lose to log2 history ({})",
@@ -127,15 +131,15 @@ fn lghist_is_competitive_with_ghist() {
         .into_iter()
         .map(|name| {
             Box::new(move || {
-                let trace = spec95::cached(name, 0.01).unwrap();
-                let lghist = simulate(
-                    Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
-                    &trace,
-                )
-                .misp_per_ki();
-                let ghist = simulate(Ev8Predictor::new(Ev8Config::unconstrained_512k()), &trace)
-                    .misp_per_ki();
-                (lghist, ghist)
+                let trace = spec95::cached_flat(name, 0.01).unwrap();
+                let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+                    Box::new(Ev8Predictor::new(Ev8Config::lghist_512k(
+                        HistoryMode::lghist_path(),
+                    ))),
+                    Box::new(Ev8Predictor::new(Ev8Config::unconstrained_512k())),
+                ];
+                let results = simulate_many(&mut configs, &trace);
+                (results[0].misp_per_ki(), results[1].misp_per_ki())
             }) as Box<dyn FnOnce() -> (f64, f64) + Send>
         })
         .collect();
@@ -152,15 +156,17 @@ fn lghist_is_competitive_with_ghist() {
 fn three_old_history_loss_is_limited() {
     // Fig 7: "using three fetch blocks old history slightly degrades the
     // accuracy of the predictor, but the impact is limited."
-    let trace = spec95::cached("m88ksim", 0.02).unwrap();
-    let immediate = simulate(
-        Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_path())),
-        &trace,
-    );
-    let three_old = simulate(
-        Ev8Predictor::new(Ev8Config::lghist_512k(HistoryMode::lghist_3old())),
-        &trace,
-    );
+    let trace = spec95::cached_flat("m88ksim", 0.02).unwrap();
+    let mut configs: Vec<Box<dyn BranchPredictor>> = vec![
+        Box::new(Ev8Predictor::new(Ev8Config::lghist_512k(
+            HistoryMode::lghist_path(),
+        ))),
+        Box::new(Ev8Predictor::new(Ev8Config::lghist_512k(
+            HistoryMode::lghist_3old(),
+        ))),
+    ];
+    let results = simulate_many(&mut configs, &trace);
+    let (immediate, three_old) = (&results[0], &results[1]);
     let ratio = three_old.misp_per_ki() / immediate.misp_per_ki().max(0.01);
     assert!(
         ratio < 2.0,
@@ -178,9 +184,9 @@ fn go_is_the_hardest_benchmark() {
         .into_iter()
         .map(|name| {
             Box::new(move || {
-                let trace = spec95::cached(name, 0.005).unwrap();
-                let m =
-                    simulate(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace).misp_per_ki();
+                let trace = spec95::cached_flat(name, 0.005).unwrap();
+                let m = simulate_flat(TwoBcGskew::new(TwoBcGskewConfig::size_512k()), &trace)
+                    .misp_per_ki();
                 (name, m)
             }) as Box<dyn FnOnce() -> (&'static str, f64) + Send>
         })
