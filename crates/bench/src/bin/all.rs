@@ -46,4 +46,5 @@ fn main() {
         (scale * 0.1).max(0.002),
         workers,
     ));
+    emit(ev8_sim::experiments::shootout::report(scale, workers));
 }

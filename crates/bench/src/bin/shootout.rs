@@ -1,0 +1,11 @@
+//! Cross-generation shootout: bimodal, gshare, the EV8 2Bc-gskew and
+//! TAGE at the EV8 storage budget (352 Kbit exact for the two skewed/
+//! tagged designs, the largest fitting power-of-two for the rest) over
+//! the full Table 2 suite, with TAGE-vs-gshare win counts.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("shootout", scale);
+    println!("{}", ev8_sim::experiments::shootout::report(scale, workers));
+}

@@ -32,10 +32,13 @@
 //!   of Figs 1 and 3.
 //! * [`smt`] — simultaneous multithreading support: per-thread history
 //!   registers over shared tables (§3).
-//! * [`observe`] — the opt-in [`observe::ObservedPredictor`] hook: a
-//!   state-identical observed step returning per-branch [`Provenance`]
-//!   (votes, chooser decision, §4.2 update action, serving bank) plus the
-//!   §6 bank-collision invariant counter.
+//! * [`observe`] — the EV8 predictor's side of the opt-in
+//!   [`observe::ObservedPredictor`] hook (the trait itself and the
+//!   unified `ConditionalBranchPredictor` capability bundle live in
+//!   `ev8_predictors::observe`): a state-identical observed step
+//!   returning per-branch [`Provenance`] (votes, chooser decision, §4.2
+//!   update action, serving bank) plus the §6 bank-collision invariant
+//!   counter.
 //!
 //! [`Provenance`]: ev8_predictors::provenance::Provenance
 //! * [`backup`] — the §9 future-work proposal: a late, confidence-gated

@@ -1,48 +1,19 @@
-//! The predictor-side observability hook: [`ObservedPredictor`].
+//! The EV8 predictor's side of the observability hook.
 //!
-//! The paper's arguments are component-level — which bank served a
-//! prediction, what the chooser did, whether the §6 bank sequence really
-//! is conflict-free — so the simulator needs a per-branch provenance
-//! channel from the predictor. This trait is that channel: an *opt-in*
-//! extension of [`BranchPredictor`] whose observed step performs exactly
-//! the same state transition as [`BranchPredictor::predict_and_update`]
-//! but returns the full [`Provenance`] of each conditional branch.
-//!
-//! Following the fault-injection subsystem's design, the observed path is
-//! a **separate entry point**: `simulate` in `ev8-sim` keeps calling the
-//! plain `predict_and_update`, and only the `simulate_observed` loop goes
-//! through this trait. The plain hot path carries no observer check at
-//! all (see the `observe_hook` group in `BENCH_sim.json`).
+//! The [`ObservedPredictor`] trait itself — together with the unified
+//! [`ConditionalBranchPredictor`] capability bundle and the
+//! implementations for the scheme-level family (bimodal, gshare,
+//! 2Bc-gskew, TAGE) — lives in `ev8_predictors::observe`; this module
+//! re-exports both names (the simulator historically imported them from
+//! here) and contributes the one implementation that cannot live there:
+//! the [`Ev8Predictor`], whose provenance-producing step is part of its
+//! fetch-block machinery in this crate.
 
+pub use ev8_predictors::observe::{ConditionalBranchPredictor, ObservedPredictor};
 use ev8_predictors::provenance::Provenance;
-use ev8_predictors::twobcgskew::TwoBcGskew;
-use ev8_predictors::BranchPredictor;
 use ev8_trace::BranchRecord;
 
 use crate::predictor::Ev8Predictor;
-
-/// A branch predictor that can report per-branch provenance.
-///
-/// Implementations must make the observed step *state-identical* to the
-/// plain [`BranchPredictor::predict_and_update`]: running the same trace
-/// through either entry point leaves the predictor in the same state and
-/// produces the same predictions. The unit and property suites check
-/// this for both implementations.
-pub trait ObservedPredictor: BranchPredictor {
-    /// Processes one trace record exactly like
-    /// [`BranchPredictor::predict_and_update`], returning the full
-    /// [`Provenance`] for conditional records (`None` otherwise).
-    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance>;
-
-    /// The §6 successive-fetch-block bank-collision count, for predictors
-    /// with banked storage (`None` when the predictor has no bank
-    /// sequencer). Must be 0 on every EV8 run — the conflict-free
-    /// interleave is a construction guarantee, and the observability
-    /// layer asserts it.
-    fn bank_collisions(&self) -> Option<u64> {
-        None
-    }
-}
 
 impl ObservedPredictor for Ev8Predictor {
     #[inline]
@@ -56,38 +27,11 @@ impl ObservedPredictor for Ev8Predictor {
     }
 }
 
-impl ObservedPredictor for TwoBcGskew {
-    /// Mirrors the default [`BranchPredictor::predict_and_update`]
-    /// routing: conditional records go through the provenance-producing
-    /// update, everything else through
-    /// [`BranchPredictor::note_noncond`] (a no-op for 2Bc-gskew).
-    #[inline]
-    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance> {
-        if record.kind.is_conditional() {
-            Some(self.predict_update_observed(record.pc, record.outcome))
-        } else {
-            self.note_noncond(record);
-            None
-        }
-    }
-}
-
-impl<P: ObservedPredictor + ?Sized> ObservedPredictor for &mut P {
-    #[inline]
-    fn predict_and_update_observed(&mut self, record: &BranchRecord) -> Option<Provenance> {
-        (**self).predict_and_update_observed(record)
-    }
-
-    #[inline]
-    fn bank_collisions(&self) -> Option<u64> {
-        (**self).bank_collisions()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ev8_predictors::twobcgskew::TwoBcGskewConfig;
+    use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
+    use ev8_predictors::BranchPredictor;
     use ev8_trace::{BranchKind, Outcome, Pc};
 
     #[test]
@@ -124,5 +68,16 @@ mod tests {
             assert!(prov.bank.is_some());
         }
         assert_eq!(ObservedPredictor::bank_collisions(&p), Some(0));
+    }
+
+    #[test]
+    fn ev8_qualifies_for_the_unified_trait() {
+        // Ev8Predictor implements FaultTarget + ObservedPredictor, so the
+        // blanket impl admits it to the unified capability bundle.
+        let mut boxed: Box<dyn ConditionalBranchPredictor> = Box::new(Ev8Predictor::ev8());
+        let rec = BranchRecord::conditional(Pc::new(0x40), Pc::new(0x80), true);
+        assert!(boxed.predict_and_update_observed(&rec).is_some());
+        assert!(!boxed.fault_arrays().is_empty());
+        assert_eq!(boxed.bank_collisions(), Some(0));
     }
 }

@@ -17,6 +17,7 @@
 
 use ev8_predictors::counter::Counter2;
 use ev8_predictors::history::GlobalHistory;
+use ev8_predictors::introspect::{ArrayInfo, FaultTarget};
 use ev8_predictors::provenance::{Provenance, UpdateAction};
 use ev8_predictors::skew::{xor_fold, InfoVector};
 use ev8_predictors::table::SplitCounterTable;
@@ -507,6 +508,64 @@ impl Ev8Predictor {
             _ => panic!("table must be 0..=3"),
         }
     }
+
+    /// Routes a flat fault-array index to the owning table and its
+    /// sub-array (0 = prediction, 1 = hysteresis).
+    fn fault_table_mut(&mut self, array: usize) -> (&mut SplitCounterTable, usize) {
+        let table = match array / 2 {
+            0 => &mut self.bim,
+            1 => &mut self.g0,
+            2 => &mut self.g1,
+            3 => &mut self.meta,
+            _ => panic!("EV8 predictor has eight arrays"),
+        };
+        (table, array & 1)
+    }
+}
+
+/// Fault-array names for the four physical tables (§7.1): prediction and
+/// hysteresis arrays per table, in BIM/G0/G1/Meta order to match the
+/// 2Bc-gskew scheme-level layout.
+const EV8_FAULT_NAMES: [&str; 8] = [
+    "ev8.bim.prediction",
+    "ev8.bim.hysteresis",
+    "ev8.g0.prediction",
+    "ev8.g0.hysteresis",
+    "ev8.g1.prediction",
+    "ev8.g1.hysteresis",
+    "ev8.meta.prediction",
+    "ev8.meta.hysteresis",
+];
+
+impl FaultTarget for Ev8Predictor {
+    /// The eight single-ported memory arrays of §7.1, named
+    /// `ev8.{bim,g0,g1,meta}.{prediction,hysteresis}`. Bit sizes sum to
+    /// the configured storage budget (352 Kbit for the Table 1 design),
+    /// so SEU campaigns target the full implementation-constrained
+    /// predictor, not just the scheme-level model.
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        [&self.bim, &self.g0, &self.g1, &self.meta]
+            .into_iter()
+            .flat_map(FaultTarget::fault_arrays)
+            .zip(EV8_FAULT_NAMES)
+            .map(|(info, name)| ArrayInfo { name, ..info })
+            .collect()
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        let (table, sub) = self.fault_table_mut(array);
+        FaultTarget::flip_bit(table, sub, bit);
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        let (table, sub) = self.fault_table_mut(array);
+        FaultTarget::force_bit(table, sub, bit, value);
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        let (table, sub) = self.fault_table_mut(array);
+        FaultTarget::flip_word(table, sub, word);
+    }
 }
 
 #[cfg(test)]
@@ -724,6 +783,23 @@ mod tests {
             ev8_trace::BranchKind::Unconditional,
         );
         assert!(p.predict_and_update_observed(&rec).is_none());
+    }
+
+    #[test]
+    fn fault_arrays_cover_the_full_352_kbit_budget() {
+        let mut p = Ev8Predictor::ev8();
+        let arrays = p.fault_arrays();
+        assert_eq!(arrays.len(), 8);
+        let total: usize = arrays.iter().map(|a| a.bits).sum();
+        assert_eq!(total as u64, 352 * 1024);
+        assert_eq!(arrays[0].name, "ev8.bim.prediction");
+        assert_eq!(arrays[7].name, "ev8.meta.hysteresis");
+        // A double flip through the trait restores the observable state.
+        let before = p.counter(1, 17);
+        FaultTarget::flip_bit(&mut p, 2, 17);
+        assert_ne!(p.counter(1, 17), before);
+        FaultTarget::flip_bit(&mut p, 2, 17);
+        assert_eq!(p.counter(1, 17), before);
     }
 
     #[test]

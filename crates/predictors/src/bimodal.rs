@@ -10,6 +10,8 @@ use crate::bitvec::Counter2Table;
 use crate::counter::Counter2;
 use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
+use crate::provenance::{Provenance, UpdateAction};
+use crate::twobcgskew::ChosenComponent;
 
 /// A bimodal predictor with `2^index_bits` 2-bit counters indexed by the
 /// branch address.
@@ -25,7 +27,7 @@ use crate::predictor::BranchPredictor;
 /// p.update(pc, Outcome::Taken);
 /// assert_eq!(p.predict(pc), Outcome::Taken);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bimodal {
     table: Counter2Table,
     index_bits: u32,
@@ -67,6 +69,38 @@ impl Bimodal {
     pub fn train(&mut self, pc: Pc, outcome: Outcome) {
         let idx = self.index(pc);
         self.table.train(idx, outcome);
+    }
+
+    /// The observed predict+update entry point: exactly the state
+    /// transition of the fused [`BranchPredictor::predict_and_update`],
+    /// returning the per-branch [`Provenance`].
+    ///
+    /// Like gshare's, the provenance is degenerate (one component, one
+    /// vote) — here the serving side is the bimodal table itself.
+    pub fn predict_update_observed(&mut self, pc: Pc, outcome: Outcome) -> Provenance {
+        let idx = self.index(pc);
+        let before = self.table.get(idx);
+        let prediction = self.table.predict_and_train(idx, outcome);
+        let changed = self.table.get(idx) != before;
+        Provenance {
+            pc,
+            outcome,
+            bim: prediction,
+            g0: prediction,
+            g1: prediction,
+            majority: prediction,
+            chosen: ChosenComponent::Bimodal,
+            overall: prediction,
+            action: if prediction != outcome {
+                UpdateAction::TableCorrected
+            } else if changed {
+                UpdateAction::Strengthened
+            } else {
+                UpdateAction::StrengthenSkipped
+            },
+            meta_trained: false,
+            bank: None,
+        }
     }
 }
 

@@ -10,7 +10,9 @@ use crate::bitvec::Counter2Table;
 use crate::history::GlobalHistory;
 use crate::introspect::{prefixed, ArrayInfo, FaultTarget};
 use crate::predictor::BranchPredictor;
+use crate::provenance::{Provenance, UpdateAction};
 use crate::skew::xor_fold64;
+use crate::twobcgskew::ChosenComponent;
 
 /// A gshare predictor: `2^index_bits` 2-bit counters indexed by
 /// `PC XOR global-history`.
@@ -30,7 +32,7 @@ use crate::skew::xor_fold64;
 /// p.update(pc, Outcome::Taken);
 /// assert_eq!(p.storage_bits(), (1 << 14) * 2);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Gshare {
     table: Counter2Table,
     index_bits: u32,
@@ -63,6 +65,42 @@ impl Gshare {
     /// The configured history length.
     pub fn history_length(&self) -> u32 {
         self.history.length()
+    }
+
+    /// The observed predict+update entry point: exactly the state
+    /// transition of the fused [`BranchPredictor::predict_and_update`],
+    /// returning the per-branch [`Provenance`].
+    ///
+    /// A single-component scheme has degenerate provenance — every vote
+    /// field carries the one table's prediction and the tabled
+    /// ("majority") side is always the chooser outcome — which keeps the
+    /// attribution layer's reconciliation arithmetic exact without
+    /// special-casing predictor families.
+    pub fn predict_update_observed(&mut self, pc: Pc, outcome: Outcome) -> Provenance {
+        let idx = self.index(pc);
+        let before = self.table.get(idx);
+        let prediction = self.table.predict_and_train(idx, outcome);
+        let changed = self.table.get(idx) != before;
+        self.history.push(outcome);
+        Provenance {
+            pc,
+            outcome,
+            bim: prediction,
+            g0: prediction,
+            g1: prediction,
+            majority: prediction,
+            chosen: ChosenComponent::Majority,
+            overall: prediction,
+            action: if prediction != outcome {
+                UpdateAction::TableCorrected
+            } else if changed {
+                UpdateAction::Strengthened
+            } else {
+                UpdateAction::StrengthenSkipped
+            },
+            meta_trained: false,
+            bank: None,
+        }
     }
 }
 

@@ -27,6 +27,10 @@ pub enum ArrayClass {
     Hysteresis,
     /// A packed 2-bit-counter array (the classic unified schemes).
     Counter,
+    /// A partial-tag array (tagged predictors such as TAGE).
+    Tag,
+    /// A useful/replacement-guard counter array (TAGE's `u` bits).
+    Useful,
 }
 
 /// One named bit array exposed for fault injection.
@@ -70,6 +74,42 @@ pub trait FaultTarget {
     /// Inverts all live bits of 64-bit word `word` of array `array`
     /// (burst fault — a whole RAM row upset at once).
     fn flip_word(&mut self, array: usize, word: usize);
+}
+
+impl<P: FaultTarget + ?Sized> FaultTarget for &mut P {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        (**self).fault_arrays()
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        (**self).flip_bit(array, bit)
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        (**self).force_bit(array, bit, value)
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        (**self).flip_word(array, word)
+    }
+}
+
+impl<P: FaultTarget + ?Sized> FaultTarget for Box<P> {
+    fn fault_arrays(&self) -> Vec<ArrayInfo> {
+        (**self).fault_arrays()
+    }
+
+    fn flip_bit(&mut self, array: usize, bit: usize) {
+        (**self).flip_bit(array, bit)
+    }
+
+    fn force_bit(&mut self, array: usize, bit: usize, value: u8) {
+        (**self).force_bit(array, bit, value)
+    }
+
+    fn flip_word(&mut self, array: usize, word: usize) {
+        (**self).flip_word(array, word)
+    }
 }
 
 impl FaultTarget for Counter2Table {

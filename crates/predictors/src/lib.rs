@@ -18,6 +18,7 @@
 //! | [`yags`] | Eden/Mudge YAGS | Fig 5 competitor (288/576 Kbit) |
 //! | [`agree`] | Sprangle et al. agree predictor | de-aliased family |
 //! | [`perceptron`] | Jiménez/Lin perceptron | §9 future-work pointer |
+//! | [`tage`] | Seznec/Michaud TAGE at the EV8 budget | next-generation shootout |
 //!
 //! Shared infrastructure: [`SaturatingCounter`](counter::SaturatingCounter),
 //! [`GlobalHistory`](history::GlobalHistory), the Seznec-Bodin skewing
@@ -54,13 +55,16 @@ pub mod gshare;
 pub mod history;
 pub mod introspect;
 pub mod local;
+pub mod observe;
 pub mod perceptron;
 mod predictor;
 pub mod provenance;
 pub mod skew;
 pub mod table;
+pub mod tage;
 pub mod tournament;
 pub mod twobcgskew;
 pub mod yags;
 
+pub use observe::{ConditionalBranchPredictor, ObservedPredictor};
 pub use predictor::{AlwaysNotTaken, AlwaysTaken, BranchPredictor};

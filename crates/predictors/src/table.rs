@@ -39,7 +39,7 @@ use crate::counter::Counter2;
 /// assert_eq!(t.read(0).prediction(), Outcome::Taken);
 /// assert_eq!(t.storage_bits(), (1 << 16) + (1 << 15));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SplitCounterTable {
     prediction: BitVec,
     hysteresis: BitVec,

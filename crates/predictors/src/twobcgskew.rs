@@ -259,7 +259,7 @@ pub struct PredictionDetail {
 /// assert_eq!(p.storage_bits(), 512 * 1024);
 /// p.update(Pc::new(0x1000), Outcome::Taken);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TwoBcGskew {
     config: TwoBcGskewConfig,
     bim: SplitCounterTable,
@@ -273,7 +273,7 @@ pub struct TwoBcGskew {
 }
 
 /// Indices into the four tables for one branch.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Indices {
     bim: usize,
     g0: usize,

@@ -59,6 +59,36 @@ pub fn report(scale: f64, workers: usize) -> ExperimentReport {
 /// [`report`] with an explicit JSONL destination (used by tests to avoid
 /// racing on process-global environment variables).
 pub fn report_with_jsonl(scale: f64, workers: usize, jsonl: Option<&Path>) -> ExperimentReport {
+    let mut r = report_for(
+        scale,
+        workers,
+        jsonl,
+        "EV8 (352 Kbit)",
+        super::unified_factory(Ev8Predictor::ev8),
+    );
+    r.notes.push(
+        "Meta steers toward the majority on history-friendly benchmarks; BIM covers \
+         short-history branches (Table 1's h=4 role)"
+            .into(),
+    );
+    r
+}
+
+/// [`report_with_jsonl`] for an arbitrary predictor: the study quantifies
+/// over the unified capability trait (see [`super::UnifiedFactory`]), so
+/// any family with an observed step runs through the same attribution
+/// pipeline — [`Attribution::reconcile`] accepts degenerate
+/// single-component provenance (gshare, bimodal, TAGE's provider/alt
+/// mapping) exactly as it accepts the EV8's, because the reconciliation
+/// arithmetic is over provenance invariants, not 2Bc-gskew specifics.
+/// `label` names the subject in the report title.
+pub fn report_for(
+    scale: f64,
+    workers: usize,
+    jsonl: Option<&Path>,
+    label: &str,
+    factory: super::UnifiedFactory,
+) -> ExperimentReport {
     let traces: Vec<Arc<Trace>> = spec95::NAMES
         .iter()
         .map(|name| spec95::cached(name, scale).expect("benchmark names are known"))
@@ -69,6 +99,7 @@ pub fn report_with_jsonl(scale: f64, workers: usize, jsonl: Option<&Path>) -> Ex
         .iter()
         .map(|trace| {
             let trace = Arc::clone(trace);
+            let factory = Arc::clone(&factory);
             Box::new(move || {
                 let mut attr = Attribution::new();
                 let (result, events) = if want_jsonl {
@@ -80,11 +111,11 @@ pub fn report_with_jsonl(scale: f64, workers: usize, jsonl: Option<&Path>) -> Ex
                         attr,
                         JsonlObserver::new(Vec::<u8>::new(), trace.name().to_owned()),
                     );
-                    let result = simulate_observed(Ev8Predictor::ev8(), &trace, &mut pair);
+                    let result = simulate_observed(factory(), &trace, &mut pair);
                     attr = pair.0;
                     (result, Some(pair.1.into_inner()))
                 } else {
-                    let result = simulate_observed(Ev8Predictor::ev8(), &trace, &mut attr);
+                    let result = simulate_observed(factory(), &trace, &mut attr);
                     (result, None)
                 };
                 attr.reconcile(&result)
@@ -139,14 +170,11 @@ pub fn report_with_jsonl(scale: f64, workers: usize, jsonl: Option<&Path>) -> Ex
     }
 
     ExperimentReport {
-        title: "Attribution: per-component provenance of EV8 predictions (352 Kbit, observed)"
-            .into(),
+        title: format!("Attribution: per-component provenance of {label} predictions (observed)"),
         table,
         notes: vec![
             "every row reconciled exactly: provider/action/vote sums match the scoreboard".into(),
-            "bank collisions are the §6 invariant — 0 by construction".into(),
-            "Meta steers toward the majority on history-friendly benchmarks; BIM covers \
-             short-history branches (Table 1's h=4 role)"
+            "bank collisions are the §6 invariant — 0 by construction (unbanked subjects show 0)"
                 .into(),
         ],
     }
@@ -207,6 +235,33 @@ mod tests {
             .next()
             .unwrap()
             .contains(r#""event":"prediction""#));
+    }
+
+    #[test]
+    fn attribution_pipeline_accepts_any_unified_predictor() {
+        // The seam the unified trait removed: the same observed loop and
+        // reconciliation, driven by a TAGE factory. Reconcile runs
+        // in-job (a failure panics the row), so a full table *is* the
+        // assertion that TAGE's provider/alt provenance sums exactly.
+        use ev8_predictors::tage::{Tage, TageConfig};
+        let r = report_for(
+            0.001,
+            default_workers(),
+            None,
+            "TAGE (352 Kbit)",
+            crate::experiments::unified_factory(|| Tage::new(TageConfig::ev8_budget())),
+        );
+        assert!(r.title.contains("TAGE (352 Kbit)"));
+        assert_eq!(r.table.len(), spec95::NAMES.len());
+        for (row, name) in spec95::NAMES.iter().enumerate() {
+            // Unbanked subject: the §6 column reads 0.
+            assert_eq!(r.table.cell(row, 9), "0");
+            let action_sum: f64 = (5..=8).map(|c| parse(&r.table.cell(row, c))).sum();
+            assert!(
+                (action_sum - 100.0).abs() < 0.3,
+                "{name}: action mix sums to {action_sum}"
+            );
+        }
     }
 
     #[test]

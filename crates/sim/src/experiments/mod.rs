@@ -29,6 +29,7 @@
 //! | [`attribution`] | observability — per-component provenance, §6 invariants |
 //! | [`seu`] | robustness — misp/KI under soft-error injection |
 //! | [`scaling`] | calibration — misp/KI convergence with trace length |
+//! | [`shootout`] | cross-generation — bimodal/gshare/2Bc-gskew/TAGE at the EV8 budget |
 //!
 //! Every `report(scale, workers)` takes `scale` as a fraction of the
 //! paper's 100M-instruction traces (1.0 = full length) and a worker
@@ -36,6 +37,7 @@
 
 use std::sync::Arc;
 
+use ev8_predictors::observe::ConditionalBranchPredictor;
 use ev8_predictors::BranchPredictor;
 use ev8_trace::{FlatTrace, Trace};
 use ev8_workloads::spec95;
@@ -58,6 +60,7 @@ pub mod frontend;
 pub mod history_sweep;
 pub mod scaling;
 pub mod seu;
+pub mod shootout;
 pub mod smt;
 pub mod table1;
 pub mod table2;
@@ -73,6 +76,22 @@ pub type Factory = Arc<dyn Fn() -> Box<dyn BranchPredictor> + Send + Sync>;
 pub fn factory<P, F>(f: F) -> Factory
 where
     P: BranchPredictor + 'static,
+    F: Fn() -> P + Send + Sync + 'static,
+{
+    Arc::new(move || Box::new(f()))
+}
+
+/// Like [`Factory`], but over the unified
+/// [`ConditionalBranchPredictor`] capability bundle: the fault campaign
+/// ([`seu`]) and the attribution study ([`attribution`]) need subjects
+/// that also expose storage arrays and per-branch provenance, so they
+/// quantify over this trait instead of a concrete predictor type.
+pub type UnifiedFactory = Arc<dyn Fn() -> Box<dyn ConditionalBranchPredictor> + Send + Sync>;
+
+/// Builds a [`UnifiedFactory`] from a constructor closure.
+pub fn unified_factory<P, F>(f: F) -> UnifiedFactory
+where
+    P: ConditionalBranchPredictor + 'static,
     F: Fn() -> P + Send + Sync + 'static,
 {
     Arc::new(move || Box::new(f()))

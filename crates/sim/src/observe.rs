@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 
-use ev8_core::observe::ObservedPredictor;
+use ev8_predictors::observe::ObservedPredictor;
 use ev8_predictors::provenance::{Provenance, UpdateAction};
 use ev8_predictors::twobcgskew::ChosenComponent;
 use ev8_trace::Trace;

@@ -16,6 +16,7 @@ use ev8_predictors::egskew::EGskew;
 use ev8_predictors::gshare::Gshare;
 use ev8_predictors::local::LocalPredictor;
 use ev8_predictors::perceptron::Perceptron;
+use ev8_predictors::tage::{Tage, TageConfig};
 use ev8_predictors::tournament::Tournament;
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
 use ev8_predictors::yags::Yags;
@@ -45,6 +46,10 @@ fn roster() -> Vec<(String, Factory)> {
             factory(|| TwoBcGskew::new(TwoBcGskewConfig::size_512k())),
         ),
         ("EV8 352Kb".into(), factory(Ev8Predictor::ev8)),
+        (
+            "TAGE 352Kb".into(),
+            factory(|| Tage::new(TageConfig::ev8_budget())),
+        ),
     ]
 }
 

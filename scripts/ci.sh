@@ -91,6 +91,22 @@ if [ "$sweep_elapsed" -gt "$SWEEP_BUDGET" ]; then
     exit 1
 fi
 
+# Cross-generation smoke, budgeted: the TAGE property suite (tagged-table
+# invariants under arbitrary streams, with literal-seed replay) plus one
+# shootout pass at a small scale — bimodal/gshare/2Bc-gskew/TAGE at the
+# EV8 bit budget through the unified predictor trait, the experiment the
+# tage-beats-gshare acceptance gate lives in.
+SHOOTOUT_BUDGET="${EV8_SHOOTOUT_BUDGET:-120}"
+shootout_start=$(date +%s)
+run cargo test -q --test tage_properties --offline
+run env EV8_SCALE=0.002 cargo run -q --release --offline -p ev8-bench --bin shootout
+shootout_elapsed=$(( $(date +%s) - shootout_start ))
+echo "==> shootout wall-clock: ${shootout_elapsed}s (budget ${SHOOTOUT_BUDGET}s)"
+if [ "$shootout_elapsed" -gt "$SHOOTOUT_BUDGET" ]; then
+    echo "error: shootout smoke exceeded its ${SHOOTOUT_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays
@@ -103,7 +119,9 @@ if [ "$QUICK" -eq 0 ]; then
     # EV8_SWEEP_SCALE drops the sweep bench to smoke-sized traces; the
     # recorded numbers in BENCH_sim.json come from a manual run at the
     # bench's default scale.
-    run env EV8_BENCH_SAMPLES=1 EV8_SWEEP_SCALE=0.02 \
+    # EV8_SHOOTOUT_SCALE likewise keeps the accuracy-recording shootout
+    # group at smoke size.
+    run env EV8_BENCH_SAMPLES=1 EV8_SWEEP_SCALE=0.02 EV8_SHOOTOUT_SCALE=0.002 \
         EV8_BENCH_JSON="$PWD/target/bench-smoke.json" \
         cargo bench --offline -p ev8-bench
 fi

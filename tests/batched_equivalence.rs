@@ -16,6 +16,7 @@ use ev8_util::prop_assert_eq;
 use ev8_core::Ev8Predictor;
 use ev8_predictors::bimodal::Bimodal;
 use ev8_predictors::gshare::Gshare;
+use ev8_predictors::tage::{Tage, TageConfig};
 use ev8_predictors::twobcgskew::{TwoBcGskew, TwoBcGskewConfig};
 use ev8_predictors::BranchPredictor;
 use ev8_sim::{simulate, simulate_flat, simulate_many};
@@ -100,6 +101,14 @@ fn simulate_many_is_bit_identical_to_serial_simulate() {
             let gshare_hist = g.range(0u32..16);
             let gskew_bits = g.range(4u32..10);
             let gskew_hist = g.range(0u32..12);
+            let tage_config = TageConfig::geometric(
+                g.range(4u32..9),
+                g.range(1u32..6) as usize,
+                g.range(4u32..8),
+                g.range(5u32..11),
+                g.range(2u32..5),
+                g.range(8u32..40),
+            );
             let mut batch: Vec<Box<dyn BranchPredictor>> = vec![
                 Box::new(Bimodal::new(bim_bits)),
                 Box::new(Gshare::new(gshare_bits, gshare_hist)),
@@ -107,6 +116,7 @@ fn simulate_many_is_bit_identical_to_serial_simulate() {
                     gskew_bits, gskew_hist,
                 ))),
                 Box::new(Ev8Predictor::ev8()),
+                Box::new(Tage::new(tage_config.clone())),
             ];
             let serial = vec![
                 simulate(Bimodal::new(bim_bits), &trace),
@@ -116,6 +126,7 @@ fn simulate_many_is_bit_identical_to_serial_simulate() {
                     &trace,
                 ),
                 simulate(Ev8Predictor::ev8(), &trace),
+                simulate(Tage::new(tage_config), &trace),
             ];
             let batched = simulate_many(&mut batch, &flat);
             prop_assert_eq!(batched, serial);
@@ -148,6 +159,32 @@ fn simulate_many_matches_serial_write_accounting() {
             Ok(())
         },
     );
+}
+
+#[test]
+fn simulate_many_matches_serial_tage_full_state() {
+    // TAGE derives structural equality, so the batched-vs-serial pin is
+    // the *entire* predictor: every tagged entry, useful counter, the
+    // use_alt chooser, the allocation LFSR and the reset phase.
+    check("simulate_many_matches_serial_tage_full_state", CASES, |g| {
+        let trace = arb_trace(g);
+        let flat = FlatTrace::from_trace(&trace);
+        let config = TageConfig::geometric(
+            g.range(4u32..8),
+            g.range(1u32..5) as usize,
+            g.range(4u32..7),
+            g.range(5u32..10),
+            g.range(2u32..5),
+            g.range(8u32..24),
+        );
+        let mut batched_predictor = Tage::new(config.clone());
+        let mut serial_predictor = Tage::new(config);
+        let batched = simulate_many(std::slice::from_mut(&mut batched_predictor), &flat);
+        let serial = simulate(&mut serial_predictor, &trace);
+        prop_assert_eq!(&batched[0], &serial);
+        prop_assert_eq!(batched_predictor, serial_predictor);
+        Ok(())
+    });
 }
 
 #[test]

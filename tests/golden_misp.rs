@@ -21,6 +21,7 @@ use std::path::PathBuf;
 use ev8_core::Ev8Predictor;
 use ev8_predictors::bimodal::Bimodal;
 use ev8_predictors::gshare::Gshare;
+use ev8_predictors::tage::{Tage, TageConfig};
 use ev8_predictors::BranchPredictor;
 use ev8_sim::{simulate, simulate_many};
 use ev8_workloads::spec95;
@@ -32,7 +33,7 @@ const SCALE: f64 = 0.002;
 
 /// Stable fixture keys (decoupled from `BranchPredictor::name`, which
 /// embeds configuration and may be reworded).
-const PREDICTORS: [&str; 3] = ["ev8", "gshare", "bimodal"];
+const PREDICTORS: [&str; 4] = ["ev8", "gshare", "bimodal", "tage"];
 
 fn build(key: &str) -> Box<dyn BranchPredictor> {
     match key {
@@ -41,6 +42,8 @@ fn build(key: &str) -> Box<dyn BranchPredictor> {
         // The paper's main comparison points at similar storage.
         "gshare" => Box::new(Gshare::new(16, 16)),
         "bimodal" => Box::new(Bimodal::new(14)),
+        // The next-generation design at the exact EV8 budget.
+        "tage" => Box::new(Tage::new(TageConfig::ev8_budget())),
         _ => unreachable!("unknown fixture key {key}"),
     }
 }
@@ -112,7 +115,7 @@ fn misprediction_counters_match_golden_fixture() {
     }
 }
 
-/// The same grid through the batched sweep engine: all three predictors
+/// The same grid through the batched sweep engine: all four predictors
 /// stepped per branch in one pass over the packed flat view.
 fn current_table_batched() -> String {
     let mut out = String::new();
