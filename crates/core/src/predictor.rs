@@ -448,6 +448,12 @@ impl BranchPredictor for Ev8Predictor {
         self.apply_branch(record);
     }
 
+    // Inlined for parity with the observed step: `predict_and_update_observed`
+    // carries `#[inline]`, so without this attribute a cross-crate
+    // `simulate::<Ev8Predictor>` pays a call per record that the observed
+    // loop does not — which made a no-op observer measure *faster* than
+    // no observer at all.
+    #[inline]
     fn predict_and_update(&mut self, record: &BranchRecord) -> Option<Outcome> {
         self.advance_to(record);
         let prediction = if record.kind.is_conditional() {

@@ -49,6 +49,11 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Per-step fire/don't-fire stream (one draw per step, always).
     decide: DefaultRng,
+    /// `plan.rate` precomputed as an integer threshold over the 53-bit
+    /// decision draw (see [`decide_threshold`]): the armed-but-quiet hot
+    /// path is one raw draw, one shift and one integer compare per
+    /// branch, with no per-step float conversion or clamp branches.
+    decide_threshold: u64,
     /// Fault-address stream (advances only when a fault fires).
     addr: DefaultRng,
     /// Eligible arrays: (index in the target's array order, geometry).
@@ -83,6 +88,7 @@ impl FaultInjector {
         let total_words = arrays.iter().map(|(_, a)| a.words() as u64).sum();
         let per_array = arrays.iter().map(|(_, a)| (a.name, 0)).collect();
         FaultInjector {
+            decide_threshold: decide_threshold(plan.rate),
             decide: DefaultRng::seed_from_u64(mix(plan.seed)),
             addr: DefaultRng::seed_from_u64(mix(plan.seed ^ 0xFA17_ADD2_E55E_5EED)),
             arrays,
@@ -116,7 +122,13 @@ impl FaultInjector {
     /// decision regardless of outcome.
     #[inline]
     pub fn step(&mut self, target: &mut impl FaultTarget) {
-        if self.decide.gen_bool(self.plan.rate) {
+        // Bit-exact to `self.decide.gen_bool(self.plan.rate)` — same draw,
+        // same decision — but the per-step cost is one integer compare.
+        // The `gen_bool` formulation (two float clamp branches plus an
+        // int→float convert and float compare per branch) is what pushed
+        // `fault_hook_zero_rate_overhead` from 1.8% to 12.9% in
+        // `BENCH_sim.json`.
+        if (self.decide.next_u64() >> 11) < self.decide_threshold {
             self.inject_one(target);
         }
     }
@@ -174,6 +186,25 @@ impl FaultInjector {
         self.log.injected += 1;
         self.log.per_array[slot].1 += 1;
     }
+}
+
+/// `rate` as an integer threshold over the 53-bit decision draw:
+/// `(next_u64() >> 11) < decide_threshold(rate)` decides exactly like
+/// `gen_bool(rate)` on the same draw, for *every* `f64` rate.
+///
+/// Why it is exact: `gen_bool` computes `u * 2⁻⁵³ < rate` with
+/// `u = next_u64() >> 11 ∈ [0, 2⁵³)`, and both that product and
+/// `rate * 2⁵³` are powers-of-two scalings (no rounding), so the real
+/// comparison `u < rate·2⁵³` is preserved; taking `ceil` makes the
+/// strict inequality land on the right integer whether or not
+/// `rate·2⁵³` is integral. The saturating `as u64` cast maps NaN and
+/// negatives to 0 (never fire — `gen_bool`'s `p <= 0.0` clamp) and
+/// `rate >= 1.0` to at least 2⁵³, above every draw (always fire — the
+/// `p >= 1.0` clamp). Pinned against `gen_bool` draw-for-draw in
+/// `decision_stream_is_bit_exact_to_gen_bool`.
+fn decide_threshold(rate: f64) -> u64 {
+    const SCALE: f64 = (1u64 << 53) as f64;
+    (rate * SCALE).ceil() as u64
 }
 
 #[cfg(test)]
@@ -336,6 +367,39 @@ mod tests {
             assert!(fired_high.contains(i), "step {i} fired at 0.1 but not 0.4");
         }
         assert!(fired_high.len() > fired_low.len());
+    }
+
+    #[test]
+    fn decision_stream_is_bit_exact_to_gen_bool() {
+        // The integer-threshold hot path must reproduce gen_bool's
+        // decisions draw-for-draw at every rate, including the clamp
+        // regions and non-finite rates.
+        let rates = [
+            0.0,
+            f64::MIN_POSITIVE,
+            1e-12,
+            0.1,
+            0.25,
+            0.5,
+            0.4999999999999999,
+            0.9999999999999999,
+            1.0,
+            1.5,
+            -0.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for rate in rates {
+            let thr = decide_threshold(rate);
+            let mut reference = DefaultRng::seed_from_u64(mix(0xD00D_1E5));
+            let mut fast = reference.clone();
+            for step in 0..4000 {
+                let expected = reference.gen_bool(rate);
+                let got = (fast.next_u64() >> 11) < thr;
+                assert_eq!(got, expected, "rate {rate} step {step}");
+            }
+        }
     }
 
     #[test]

@@ -106,18 +106,43 @@ impl BitVec {
         self.words.len()
     }
 
-    /// Reads backing word `word` (crate-internal: lets the split-table
-    /// hot path fuse a get-then-set into one load and one store).
+    /// Reads backing word `word` with the index masked to the
+    /// (power-of-two) word count, so the compiler can prove the access in
+    /// bounds and drop the slice check (crate-internal: split-table hot
+    /// path; see [`BitVec::rmw_bit`] for the power-of-two contract).
     #[inline]
-    pub(crate) fn word(&self, word: usize) -> u64 {
-        self.words[word]
+    pub(crate) fn word_masked(&self, word: usize) -> u64 {
+        debug_assert!(self.words.len().is_power_of_two());
+        self.words[word & (self.words.len() - 1)]
     }
 
-    /// Overwrites backing word `word` (crate-internal companion of
-    /// [`BitVec::word`]; callers must only change live bits).
+    /// Mutable masked companion of [`BitVec::word_masked`]: one
+    /// bounds-free borrow serving both the load and the store of a hot
+    /// read-modify-write (callers must only change live bits).
     #[inline]
-    pub(crate) fn set_word(&mut self, word: usize, value: u64) {
-        self.words[word] = value;
+    pub(crate) fn word_masked_mut(&mut self, word: usize) -> &mut u64 {
+        debug_assert!(self.words.len().is_power_of_two());
+        let mask = self.words.len() - 1;
+        &mut self.words[word & mask]
+    }
+
+    /// Single-load/single-store read-modify-write of the bit at `index`:
+    /// returns the previous bit and stores `bit` (crate-internal: the
+    /// split-table hot RMW). The caller asserts `index < len()`; the word
+    /// index is masked to the (power-of-two) word count so the compiler
+    /// can prove the slice access in bounds and drop the per-call check —
+    /// every [`BitVec`] a counter table builds has `2^k` bits, hence a
+    /// power-of-two word count.
+    #[inline]
+    pub(crate) fn rmw_bit(&mut self, index: usize, bit: u64) -> u64 {
+        debug_assert!(index < self.len, "bit index {index} out of bounds");
+        debug_assert!(self.words.len().is_power_of_two());
+        let w = (index >> 6) & (self.words.len() - 1);
+        let b = (index & 63) as u32;
+        let word = &mut self.words[w];
+        let old = (*word >> b) & 1;
+        *word = (*word & !(1u64 << b)) | (bit << b);
+        old
     }
 
     /// Mutable access to a backing word (for multi-bit burst faults).
@@ -195,6 +220,18 @@ impl Counter2Table {
         }
     }
 
+    /// Word index for counter `index`, masked to the (always power-of-two)
+    /// word count. After the public bounds assert the mask is a no-op, but
+    /// it lets the compiler prove the slice access in bounds and drop the
+    /// bounds check from the hot RMW — the get-then-recheck formulation
+    /// paid an assert *and* a slice check per access, which is what showed
+    /// up as `table_layout_speedup < 1` in `BENCH_sim.json`.
+    #[inline]
+    fn word_index(&self, index: usize) -> usize {
+        debug_assert!(self.words.len().is_power_of_two());
+        (index >> 5) & (self.words.len() - 1)
+    }
+
     /// Number of counters.
     pub fn entries(&self) -> usize {
         self.entries
@@ -208,7 +245,7 @@ impl Counter2Table {
     #[inline]
     pub fn get(&self, index: usize) -> Counter2 {
         assert!(index < self.entries, "counter index {index} out of bounds");
-        Counter2::new(((self.words[index >> 5] >> ((index & 31) * 2)) & 0b11) as u8)
+        Counter2::new(((self.words[self.word_index(index)] >> ((index & 31) * 2)) & 0b11) as u8)
     }
 
     /// Overwrites the counter at `index`.
@@ -219,29 +256,32 @@ impl Counter2Table {
     #[inline]
     pub fn set(&mut self, index: usize, counter: Counter2) {
         assert!(index < self.entries, "counter index {index} out of bounds");
+        let wi = self.word_index(index);
         let shift = (index & 31) * 2;
-        let word = &mut self.words[index >> 5];
+        let word = &mut self.words[wi];
         *word = (*word & !(0b11u64 << shift)) | ((counter.value() as u64) << shift);
     }
 
     /// Trains the counter at `index` toward `outcome` (saturating).
     ///
     /// Single read-modify-write of the backing word: the lane shift is
-    /// computed once and the word is bounds-checked once (the get-then-set
-    /// formulation did both twice, which showed up in the table-layout
-    /// bench).
+    /// computed once and the word access compiles without a bounds check
+    /// (see [`word_index`](Self::word_index) — the get-then-set
+    /// formulation paid the shift and two checked accesses, which showed
+    /// up in the table-layout bench).
     #[inline]
     pub fn train(&mut self, index: usize, outcome: Outcome) {
         assert!(index < self.entries, "counter index {index} out of bounds");
+        let wi = self.word_index(index);
         let shift = (index & 31) * 2;
-        let word = &mut self.words[index >> 5];
+        let word = &mut self.words[wi];
         let cur = (*word >> shift) & 0b11;
         // Branchless saturating step: +1 when taken, -1 when not.
         // (cur + 2t - 1 clamped to 0..=3; outcome bits are data-dependent
         // in the hot loop, so a conditional here mispredicts constantly.)
         let t = u64::from(outcome.is_taken());
         let next = (cur + (t << 1)).saturating_sub(1).min(3);
-        *word = (*word & !(0b11u64 << shift)) | (next << shift);
+        *word ^= (cur ^ next) << shift;
     }
 
     /// Reads the prediction at `index` and trains the counter toward
@@ -255,7 +295,8 @@ impl Counter2Table {
     #[inline]
     pub fn predict_and_train(&mut self, index: usize, outcome: Outcome) -> Outcome {
         assert!(index < self.entries, "counter index {index} out of bounds");
-        Self::step_packed(&mut self.words[index >> 5], (index & 31) as u32, outcome)
+        let wi = self.word_index(index);
+        Self::step_packed(&mut self.words[wi], (index & 31) as u32, outcome)
     }
 
     /// Advances the 2-bit counter in `lane` (0..32) of a packed word
@@ -280,13 +321,44 @@ impl Counter2Table {
         Outcome::from(cur >= 2)
     }
 
+    /// Advances all 32 2-bit counters of a packed word toward one shared
+    /// `taken` outcome in a single branch-free SWAR step, returning
+    /// `(predictions, next)`: bit `2k` of `predictions` is lane `k`'s
+    /// *pre*-update prediction (1 = taken) and `next` is the updated word.
+    ///
+    /// This is the bitsliced form of 32 [`step_packed`](Self::step_packed)
+    /// calls sharing one outcome — the sweep engine's lane kernel, where
+    /// lane `k` holds configuration `k`'s counter for the current branch.
+    /// Writing the counter as prediction bit `p` (high) and hysteresis
+    /// bit `h` (low), the saturating ±1 step is pure bit logic:
+    ///
+    /// * taken:     `p' = p | h`, `h' = p | !h`
+    /// * not taken: `p' = p & h`, `h' = p & !h`
+    ///
+    /// (check against the 00→01→10→11 chain in both directions), so one
+    /// mask select between the two gives every lane's next state at once.
+    #[inline]
+    pub fn step_lanes(lanes: u64, taken: bool) -> (u64, u64) {
+        const LO: u64 = WEAKLY_NOT_TAKEN_FILL; // every lane's low bit
+        let p = (lanes >> 1) & LO;
+        let h = lanes & LO;
+        let nh = h ^ LO;
+        let m = (taken as u64).wrapping_neg() & LO;
+        // m selects per lane between the taken and not-taken columns:
+        // x|y = (x&y) | (x^y), so OR when m is set, AND when clear.
+        let pn = (p & h) | (m & (p ^ h));
+        let hn = (p & nh) | (m & (p ^ nh));
+        (p, (pn << 1) | hn)
+    }
+
     /// Strengthens the counter at `index` in its current direction
     /// (same single-word RMW as [`Counter2Table::train`]).
     #[inline]
     pub fn strengthen(&mut self, index: usize) {
         assert!(index < self.entries, "counter index {index} out of bounds");
+        let wi = self.word_index(index);
         let shift = (index & 31) * 2;
-        let word = &mut self.words[index >> 5];
+        let word = &mut self.words[wi];
         let cur = (*word >> shift) & 0b11;
         let next = if cur >= 2 { 0b11 } else { 0b00 };
         *word = (*word & !(0b11u64 << shift)) | (next << shift);
@@ -479,6 +551,35 @@ mod tests {
         }
         for i in 0..32 {
             assert_eq!((word >> (i * 2)) & 0b11, reference.get(i).value() as u64);
+        }
+    }
+
+    #[test]
+    fn step_lanes_is_32_step_packed_calls_sharing_one_outcome() {
+        // The SWAR lane step must match 32 per-lane step_packed calls
+        // exactly — same predictions, same next word — from every
+        // reachable and unreachable lane state mixture.
+        let mut lanes = WEAKLY_NOT_TAKEN_FILL;
+        let mut x = 0xB17_511CEu64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Occasionally teleport to an arbitrary word so all 4^32
+            // state mixtures are sampled, not just reachable ones.
+            if (x >> 58) == 0 {
+                lanes = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            let taken = x >> 63 != 0;
+            let outcome = Outcome::from(taken);
+            let mut reference = lanes;
+            let mut expected_preds = 0u64;
+            for lane in 0..32u32 {
+                let p = Counter2Table::step_packed(&mut reference, lane, outcome);
+                expected_preds |= u64::from(p.is_taken()) << (lane * 2);
+            }
+            let (preds, next) = Counter2Table::step_lanes(lanes, taken);
+            assert_eq!(preds, expected_preds, "predictions for word {lanes:#x}");
+            assert_eq!(next, reference, "next state for word {lanes:#x}");
+            lanes = next;
         }
     }
 

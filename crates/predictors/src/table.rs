@@ -149,10 +149,15 @@ impl SplitCounterTable {
         let hidx = index & self.hysteresis_mask;
         let (pw, pb) = (index >> 6, (index & 63) as u32);
         let (hw, hb) = (hidx >> 6, (hidx & 63) as u32);
-        let pword = self.prediction.word(pw);
-        let hword = self.hysteresis.word(hw);
-        let p = (pword >> pb) & 1;
-        let h = (hword >> hb) & 1;
+        // One bounds-free borrow per array serves both the load and the
+        // store (both arrays have power-of-two word counts, so the masked
+        // access compiles without a slice check — the word()/set_word()
+        // formulation paid two checked accesses per array, which showed
+        // up as `table_layout_speedup < 1` in `BENCH_sim.json`).
+        let pword = self.prediction.word_masked_mut(pw);
+        let p = (*pword >> pb) & 1;
+        let hword = self.hysteresis.word_masked_mut(hw);
+        let h = (*hword >> hb) & 1;
         let cur = (p << 1) | h;
         let t = u64::from(outcome.is_taken());
         let next = (cur + (t << 1)).saturating_sub(1).min(3);
@@ -160,10 +165,8 @@ impl SplitCounterTable {
         let hn = next & 1;
         // Same-value stores are invisible (write counters key off the
         // actual bit diff), so both stores run unconditionally.
-        self.prediction
-            .set_word(pw, (pword & !(1u64 << pb)) | (pn << pb));
-        self.hysteresis
-            .set_word(hw, (hword & !(1u64 << hb)) | (hn << hb));
+        *pword ^= (p ^ pn) << pb;
+        *hword ^= (h ^ hn) << hb;
         self.prediction_writes += u64::from(pn != p);
         self.hysteresis_writes += u64::from(hn != h);
     }
@@ -177,16 +180,16 @@ impl SplitCounterTable {
     /// the whole operation is one compare against the prediction bit.
     #[inline]
     pub fn strengthen(&mut self, index: usize) {
-        let p = u64::from(self.prediction.get(index));
-        let hidx = index & self.hysteresis_mask;
-        let (hw, hb) = (hidx >> 6, (hidx & 63) as u32);
-        let hword = self.hysteresis.word(hw);
-        let h = (hword >> hb) & 1;
+        assert!(
+            index < self.prediction.len(),
+            "bit index {index} out of bounds"
+        );
+        let p = (self.prediction.word_masked(index >> 6) >> (index & 63)) & 1;
         // The prediction bit cannot change when strengthening; write only
         // hysteresis, as the EV8 hardware does (branch-free, same
-        // unconditional-store shape as `train`).
-        self.hysteresis
-            .set_word(hw, (hword & !(1u64 << hb)) | (p << hb));
+        // single-RMW shape as `train` — the new bit is known up front, so
+        // the whole update is one `rmw_bit`).
+        let h = self.hysteresis.rmw_bit(index & self.hysteresis_mask, p);
         self.hysteresis_writes += u64::from(h != p);
     }
 

@@ -46,10 +46,10 @@
 //! assert_eq!(results[0].conditional_branches, 100);
 //! ```
 
-use ev8_predictors::bitvec::Counter2Table;
+use ev8_predictors::bitvec::{Counter2Table, WEAKLY_NOT_TAKEN_FILL};
 use ev8_predictors::gshare::Gshare;
 use ev8_predictors::BranchPredictor;
-use ev8_trace::{FlatTrace, Outcome};
+use ev8_trace::FlatTrace;
 
 use crate::metrics::SimResult;
 
@@ -149,6 +149,21 @@ pub fn simulate_many<P: BranchPredictor>(
 /// longer histories fall back to the general engine
 /// ([`simulate_many`]), which handles any configuration mix.
 ///
+/// Two data-parallel engines sit behind this front door, picked by the
+/// history range:
+///
+/// * histories all ≤ 32 bits (every paper sweep): the **transposed
+///   blocked engine** — the branch stream carries its own rolling
+///   history snapshot, so configurations decouple completely and each
+///   one runs as its *own* tight pass over a block of branches while the
+///   block is cache-hot. One configuration's pass touches exactly one
+///   `2^index_bits`-counter table (L1-resident) plus a sequential
+///   stream read; there is no per-branch configuration dispatch at all.
+/// * some history in `(32, 2 * index_bits]`: the bitsliced lane engine
+///   ([`simulate_gshare_sweep_bitsliced`]), which keeps a shared `u64`
+///   rolling register and steps every configuration's counter as a
+///   2-bit lane of one SWAR word per branch.
+///
 /// # Why this is bit-identical to serial
 ///
 /// * Masking the rolling register at use (`hist & mask_h`) equals
@@ -161,6 +176,10 @@ pub fn simulate_many<P: BranchPredictor>(
 ///   history and only touches history on conditional records — mirrored
 ///   exactly here, and pinned by the unit tests below plus the
 ///   workspace equivalence suite.
+/// * Configurations never exchange state, so reordering the (branch,
+///   config) iteration grid — per-config passes in the transposed
+///   engine, per-branch lane steps in the bitsliced one — performs the
+///   identical transition sequence per configuration.
 ///
 /// # Panics
 ///
@@ -178,65 +197,351 @@ pub fn simulate_gshare_sweep(
             .collect();
         return simulate_many(&mut configs, trace);
     }
+    let misps = if histories.iter().all(|&h| h <= 32) {
+        transposed_sweep_misps(index_bits, histories, trace)
+    } else {
+        bitsliced_sweep_misps(index_bits, histories, trace)
+    };
+    collect_sweep_results(index_bits, histories, trace, misps)
+}
 
-    let mut results: Vec<SimResult> = histories
+/// Runs a gshare history-length sweep through the **bitsliced lane
+/// engine**: per branch, every configuration's 2-bit counter is
+/// gathered into one `u64` lane word, all lanes advance in a single
+/// branch-free [`Counter2Table::step_lanes`] SWAR step sharing the
+/// branch outcome, and the updated lanes scatter back — no per-config
+/// saturate/compare arithmetic at all, `histories.len()` is bounded
+/// only by lane-group chunking (32 configurations per word).
+///
+/// Results are bit-identical to `histories.len()` serial
+/// [`simulate`](crate::simulate) calls, exactly like
+/// [`simulate_gshare_sweep`] (which routes to this engine for history
+/// lengths above 32 bits and to the transposed blocked engine
+/// otherwise — the two are benched head-to-head in the
+/// `sweep_bitsliced` group of `BENCH_sim.json`). Histories beyond
+/// `2 * index_bits` fall back to [`simulate_many`].
+///
+/// # Panics
+///
+/// Panics if `index_bits` is outside `1..=30` or any history length
+/// exceeds 64 (the same bounds [`Gshare::new`] enforces).
+pub fn simulate_gshare_sweep_bitsliced(
+    index_bits: u32,
+    histories: &[u32],
+    trace: &FlatTrace,
+) -> Vec<SimResult> {
+    if histories.iter().any(|&h| h > 2 * index_bits) {
+        let mut configs: Vec<Gshare> = histories
+            .iter()
+            .map(|&h| Gshare::new(index_bits, h))
+            .collect();
+        return simulate_many(&mut configs, trace);
+    }
+    let misps = bitsliced_sweep_misps(index_bits, histories, trace);
+    collect_sweep_results(index_bits, histories, trace, misps)
+}
+
+/// Shared result assembly for the sweep engines: per-config skeletons
+/// (named to match [`Gshare::name`] without building a table per config
+/// just to ask; pinned by the equivalence tests) filled with the
+/// config-invariant conditional count and the per-config misprediction
+/// tallies.
+fn collect_sweep_results(
+    index_bits: u32,
+    histories: &[u32],
+    trace: &FlatTrace,
+    misps: Vec<u64>,
+) -> Vec<SimResult> {
+    histories
         .iter()
-        .map(|&h| SimResult {
+        .zip(misps)
+        .map(|(&h, misp)| SimResult {
             trace: trace.name().to_owned(),
-            // Matches Gshare::name() without allocating a table per
-            // config just to ask its name; pinned by the equivalence
-            // tests against serial Gshare runs.
             predictor: format!("gshare {}K entries, h={h}", (1u64 << index_bits) / 1024),
             instructions: trace.instruction_count(),
-            ..SimResult::default()
+            conditional_branches: trace.conditional_count(),
+            mispredictions: misp,
         })
-        .collect();
+        .collect()
+}
 
-    let mut tables: Vec<Counter2Table> = histories
-        .iter()
-        .map(|_| Counter2Table::new(index_bits))
-        .collect();
-    let masks: Vec<u64> = histories.iter().map(|&h| (1u64 << h) - 1).collect();
-    // Per-config state is mispredictions alone: the conditional-branch
-    // count is a property of the trace, identical for every config, and
-    // already maintained by the flat view — so the inner loop carries
-    // one branchless add per config per branch and nothing else.
-    let mut misps: Vec<u64> = vec![0; histories.len()];
+/// Branches per transposed block: 2^15 stream entries (256 KB) stay
+/// resident in L2 while every configuration's pass re-reads them, and
+/// one configuration's table (≤ 2^30 counters in principle, 16 KB for
+/// the paper's 64K-entry sweeps) stays L1-resident within a pass.
+const TRANSPOSED_BLOCK: usize = 1 << 15;
+
+/// The transposed blocked sweep engine (histories ≤ 32 bits).
+///
+/// One shared decode pass projects the conditional records into a dense
+/// one-`u64`-per-branch stream: rolling 32-bit history snapshot in the
+/// high word, outcome in bit 31, masked PC index field in the low bits
+/// (`index_bits` caps at 30, so the fields never collide). Baking the
+/// history into the stream is what makes transposition legal — after
+/// it, a configuration's whole simulation is a pure function of the
+/// stream, so the (branch, config) grid can run config-major: for each
+/// block of branches, each configuration sweeps the block in a tight
+/// scalar loop with *zero* per-branch dispatch, a bounds-check-free
+/// masked table access, an XOR-merge counter store and a branchless
+/// misprediction tally. Per (branch, config) that is ~a dozen ALU ops
+/// against one L1 load/store — the data-parallel inner loop the
+/// one-u32-per-branch engine from PR 5 still interleaved away.
+fn transposed_sweep_misps(index_bits: u32, histories: &[u32], trace: &FlatTrace) -> Vec<u64> {
+    assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+    debug_assert!(histories.iter().all(|&h| h <= 32 && h <= 2 * index_bits));
     let low_mask = (1u64 << index_bits) - 1;
+    let mut stream: Vec<u64> = Vec::with_capacity(trace.conditional_count() as usize);
+    let mut hist: u64 = 0;
+    trace.for_each_conditional(|pc_shifted, outcome| {
+        let taken = u64::from(outcome.is_taken());
+        stream.push((hist << 32) | (taken << 31) | (pc_shifted & low_mask));
+        hist = ((hist << 1) | taken) & u32::MAX as u64;
+    });
+    if index_bits <= BYTE_TABLE_MAX_BITS {
+        transposed_pass_bytes(index_bits, &stream, histories)
+    } else {
+        transposed_pass_packed(index_bits, &stream, histories)
+    }
+}
 
-    // One decode pass shared by every configuration: project the
-    // conditional records into a dense stream of one u32 each — the
-    // masked PC index field in the low bits, the outcome in bit 31
-    // (index_bits caps at 30, so the two never collide). A serial sweep
-    // re-decodes every record (kind check, gap/PC unpacking) once per
-    // configuration; here even the single batched pass stops paying for
-    // it, and the hot loop below becomes a plain slice walk with no
-    // closure call, no branch-kind test and one load of shared input
-    // per branch.
+/// Geometry ceiling for the byte-per-counter engine tables: past
+/// `2^22` entries (4 MB per configuration) the 4× storage inflation
+/// over packed words stops being a cache win, so larger sweeps take the
+/// packed-word pass instead. Every sweep in the paper's figures is far
+/// below this.
+const BYTE_TABLE_MAX_BITS: u32 = 22;
+
+/// Fused counter-step table: entry `(cur << 1) | taken` holds the next
+/// counter value (`cur + 2 * taken - 1` clamped to `0..=3`) in bits
+/// 0..2 and the misprediction flag (`(cur >> 1) != taken`) in bit 2.
+/// One 8-byte L1 load replaces the saturate arithmetic (whose `min`
+/// compiles to a data-dependent branch that mispredicts on every
+/// saturation) *and* the predict-vs-outcome compare.
+const COUNTER_STEP_LUT: [u8; 8] = [0, 5, 0, 6, 5, 3, 6, 3];
+
+/// The byte-table inner passes of the transposed engine.
+///
+/// Engine tables here are one *byte* per 2-bit counter — 4× the state
+/// of the packed [`Counter2Table`] layout, but the per-branch
+/// read-modify-write loses every variable-count shift (2–3 µops each on
+/// Intel, and the packed form needs several): extract is a plain byte
+/// load, the step is one [`COUNTER_STEP_LUT`] lookup, write-back is a
+/// byte store. A configuration's table (64 KB for the paper's
+/// 64K-entry geometry) stays L1/L2-resident within its pass. Sweeps
+/// whose history fits inside the index (`mask <= low_mask`, true for
+/// every paper figure) skip the fold's shift-XOR entirely.
+///
+/// Configurations run through each block in *pairs*: on traces whose
+/// dynamic branches concentrate on a few static sites (compress: ~45
+/// statics, one dominant loop branch) consecutive steps of one
+/// configuration read-modify-write the *same* counter, so a lone
+/// config's loop serializes on the store-to-load-forward → LUT-load
+/// chain (~15 cycles/branch measured, vs ~6-7 when indices spread).
+/// Two configurations' chains are independent, so interleaving them in
+/// one loop lets out-of-order execution overlap the stalls; each
+/// configuration still steps the block strictly in trace order, so the
+/// pairing is bit-exact by construction.
+fn transposed_pass_bytes(index_bits: u32, stream: &[u64], histories: &[u32]) -> Vec<u64> {
+    let low_mask = (1u64 << index_bits) - 1;
+    let entries = 1usize << index_bits;
+    let masks: Vec<u64> = histories.iter().map(|&h| mask_for(h)).collect();
+    let mut tables: Vec<Vec<u8>> = vec![vec![0b01; entries]; histories.len()];
+    let mut misps: Vec<u64> = vec![0; histories.len()];
+    for block in stream.chunks(TRANSPOSED_BLOCK) {
+        for ((pair, mask2), misp2) in tables
+            .chunks_mut(2)
+            .zip(masks.chunks(2))
+            .zip(misps.chunks_mut(2))
+        {
+            if pair.len() == 2 {
+                let (mask_a, mask_b) = (mask2[0], mask2[1]);
+                let (pa, pb) = pair.split_at_mut(1);
+                let ta = pa[0].as_mut_slice();
+                let tb = pb[0].as_mut_slice();
+                // Derived from *these* slices' (power-of-two) lengths so
+                // the compiler can prove the masked accesses in bounds
+                // and emit no checks in the inner loops.
+                let tmask_a = ta.len() - 1;
+                let tmask_b = tb.len() - 1;
+                let (mut tally_a, mut tally_b) = (0u64, 0u64);
+                if mask_a <= low_mask && mask_b <= low_mask {
+                    for &e in block {
+                        // History fits inside the index field: the
+                        // fold's high chunk is zero, bit 31 (the
+                        // outcome) dies under low_mask.
+                        let idx_a = ((e ^ ((e >> 32) & mask_a)) & low_mask) as usize;
+                        let idx_b = ((e ^ ((e >> 32) & mask_b)) & low_mask) as usize;
+                        let t = (e >> 31) & 1;
+                        let slot_a = &mut ta[idx_a & tmask_a];
+                        let key_a = ((u64::from(*slot_a) << 1) | t) as usize;
+                        let va = COUNTER_STEP_LUT[key_a & 7];
+                        *slot_a = va & 0b11;
+                        tally_a += u64::from(va >> 2);
+                        let slot_b = &mut tb[idx_b & tmask_b];
+                        let key_b = ((u64::from(*slot_b) << 1) | t) as usize;
+                        let vb = COUNTER_STEP_LUT[key_b & 7];
+                        *slot_b = vb & 0b11;
+                        tally_b += u64::from(vb >> 2);
+                    }
+                } else {
+                    for &e in block {
+                        // Two-chunk fold: exactly xor_fold64 for values
+                        // below 2^(2 * index_bits).
+                        let hm_a = (e >> 32) & mask_a;
+                        let hm_b = (e >> 32) & mask_b;
+                        let idx_a = (((e ^ hm_a) & low_mask) ^ (hm_a >> index_bits)) as usize;
+                        let idx_b = (((e ^ hm_b) & low_mask) ^ (hm_b >> index_bits)) as usize;
+                        let t = (e >> 31) & 1;
+                        let slot_a = &mut ta[idx_a & tmask_a];
+                        let key_a = ((u64::from(*slot_a) << 1) | t) as usize;
+                        let va = COUNTER_STEP_LUT[key_a & 7];
+                        *slot_a = va & 0b11;
+                        tally_a += u64::from(va >> 2);
+                        let slot_b = &mut tb[idx_b & tmask_b];
+                        let key_b = ((u64::from(*slot_b) << 1) | t) as usize;
+                        let vb = COUNTER_STEP_LUT[key_b & 7];
+                        *slot_b = vb & 0b11;
+                        tally_b += u64::from(vb >> 2);
+                    }
+                }
+                misp2[0] += tally_a;
+                misp2[1] += tally_b;
+                continue;
+            }
+            // Odd trailing configuration: the single-table loop.
+            let table = pair[0].as_mut_slice();
+            let mask = mask2[0];
+            let tmask = table.len() - 1;
+            let mut tally = 0u64;
+            if mask <= low_mask {
+                for &e in block {
+                    let hm = (e >> 32) & mask;
+                    let idx = ((e ^ hm) & low_mask) as usize;
+                    let slot = &mut table[idx & tmask];
+                    let t = (e >> 31) & 1;
+                    let key = ((u64::from(*slot) << 1) | t) as usize;
+                    let v = COUNTER_STEP_LUT[key & 7];
+                    *slot = v & 0b11;
+                    tally += u64::from(v >> 2);
+                }
+            } else {
+                for &e in block {
+                    let hm = (e >> 32) & mask;
+                    let idx = (((e ^ hm) & low_mask) ^ (hm >> index_bits)) as usize;
+                    let slot = &mut table[idx & tmask];
+                    let t = (e >> 31) & 1;
+                    let key = ((u64::from(*slot) << 1) | t) as usize;
+                    let v = COUNTER_STEP_LUT[key & 7];
+                    *slot = v & 0b11;
+                    tally += u64::from(v >> 2);
+                }
+            }
+            misp2[0] += tally;
+        }
+    }
+    misps
+}
+
+/// The packed-word inner pass of the transposed engine, for geometries
+/// past [`BYTE_TABLE_MAX_BITS`]: same iteration order, counters stored
+/// 32 per `u64` word exactly like [`Counter2Table`].
+fn transposed_pass_packed(index_bits: u32, stream: &[u64], histories: &[u32]) -> Vec<u64> {
+    let low_mask = (1u64 << index_bits) - 1;
+    let word_count = (1usize << index_bits).div_ceil(32);
+    let masks: Vec<u64> = histories.iter().map(|&h| mask_for(h)).collect();
+    let mut tables: Vec<Vec<u64>> = vec![vec![WEAKLY_NOT_TAKEN_FILL; word_count]; histories.len()];
+    let mut misps: Vec<u64> = vec![0; histories.len()];
+    for block in stream.chunks(TRANSPOSED_BLOCK) {
+        for ((words, &mask), misp) in tables.iter_mut().zip(&masks).zip(misps.iter_mut()) {
+            let words = words.as_mut_slice();
+            let wmask = words.len() - 1;
+            let mut tally = 0u64;
+            for &e in block {
+                let hm = (e >> 32) & mask;
+                let idx = (((e ^ hm) & low_mask) ^ (hm >> index_bits)) as usize;
+                let shift = ((idx & 31) << 1) as u32;
+                let word = &mut words[(idx >> 5) & wmask];
+                let cur = (*word >> shift) & 0b11;
+                let t = (e >> 31) & 1;
+                let key = (((cur << 1) | t) & 7) as usize;
+                let v = u64::from(COUNTER_STEP_LUT[key]);
+                *word ^= (cur ^ (v & 0b11)) << shift;
+                tally += v >> 2;
+            }
+            *misp += tally;
+        }
+    }
+    misps
+}
+
+/// The bitsliced lane sweep engine (histories ≤ `2 * index_bits`, any
+/// length up to [`Gshare`]'s 64-bit register).
+///
+/// Shares the one-`u32`-per-branch stream (outcome in bit 31, masked PC
+/// index field below) and a single `u64` rolling register across all
+/// configurations; per branch, each configuration contributes its
+/// counter as one 2-bit lane of a SWAR word, and a single
+/// [`Counter2Table::step_lanes`] call predicts and saturates every
+/// lane at once against the shared outcome. Configurations beyond 32
+/// run as additional lane groups over the same stream.
+fn bitsliced_sweep_misps(index_bits: u32, histories: &[u32], trace: &FlatTrace) -> Vec<u64> {
+    assert!((1..=30).contains(&index_bits), "index_bits must be 1..=30");
+    debug_assert!(histories.iter().all(|&h| h <= 2 * index_bits && h <= 64));
+    let low_mask = (1u64 << index_bits) - 1;
     let mut stream: Vec<u32> = Vec::with_capacity(trace.conditional_count() as usize);
     trace.for_each_conditional(|pc_shifted, outcome| {
         let pcb = (pc_shifted & low_mask) as u32;
         stream.push(pcb | (u32::from(outcome.is_taken()) << 31));
     });
 
-    let mut hist: u64 = 0;
-    for &enc in &stream {
-        let taken = enc >> 31;
-        let pc_bits = u64::from(enc & 0x7FFF_FFFF);
-        let outcome = Outcome::from(taken == 1);
-        for ((table, &mask), misp) in tables.iter_mut().zip(&masks).zip(misps.iter_mut()) {
-            let h = hist & mask;
-            let idx = (pc_bits ^ (h & low_mask) ^ (h >> index_bits)) as usize;
-            let prediction = table.predict_and_train(idx, outcome);
-            *misp += u64::from(prediction != outcome);
+    let word_count = (1usize << index_bits).div_ceil(32);
+    let mut misps: Vec<u64> = Vec::with_capacity(histories.len());
+    for group in histories.chunks(32) {
+        let masks: Vec<u64> = group.iter().map(|&h| mask_for(h)).collect();
+        let mut tables: Vec<Vec<u64>> = vec![vec![WEAKLY_NOT_TAKEN_FILL; word_count]; group.len()];
+        let mut indices: Vec<usize> = vec![0; group.len()];
+        let mut group_misps: Vec<u64> = vec![0; group.len()];
+        let mut hist: u64 = 0;
+        for &enc in &stream {
+            let taken = u64::from(enc >> 31);
+            let pc_bits = u64::from(enc & 0x7FFF_FFFF);
+            // Gather: lane k <- config k's counter at its own index (the
+            // word mask comes from each slice's own power-of-two length
+            // so the accesses compile without bounds checks).
+            let mut lanes = 0u64;
+            for (k, (words, &mask)) in tables.iter().zip(&masks).enumerate() {
+                let h = hist & mask;
+                let idx = (pc_bits ^ (h & low_mask) ^ (h >> index_bits)) as usize;
+                indices[k] = idx;
+                let word = words[(idx >> 5) & (words.len() - 1)];
+                lanes |= ((word >> ((idx & 31) << 1)) & 0b11) << (k * 2);
+            }
+            // One SWAR step advances every configuration's counter.
+            let (predictions, next) = Counter2Table::step_lanes(lanes, taken == 1);
+            // Scatter the updated lanes and tally mispredictions.
+            for (k, (words, misp)) in tables.iter_mut().zip(group_misps.iter_mut()).enumerate() {
+                let idx = indices[k];
+                let shift = ((idx & 31) << 1) as u32;
+                let wmask = words.len() - 1;
+                let word = &mut words[(idx >> 5) & wmask];
+                *word = (*word & !(0b11u64 << shift)) | (((next >> (k * 2)) & 0b11) << shift);
+                *misp += ((predictions >> (k * 2)) & 1) ^ taken;
+            }
+            hist = (hist << 1) | taken;
         }
-        hist = (hist << 1) | u64::from(taken);
+        misps.extend(group_misps);
     }
-    for (result, misp) in results.iter_mut().zip(misps) {
-        result.conditional_branches = trace.conditional_count();
-        result.mispredictions = misp;
+    misps
+}
+
+/// `(1 << h) - 1` without the `h = 64` overflow.
+#[inline]
+fn mask_for(h: u32) -> u64 {
+    if h >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << h) - 1
     }
-    results
 }
 
 #[cfg(test)]
@@ -323,6 +628,109 @@ mod tests {
             .map(|&h| simulate(Gshare::new(10, h), &t))
             .collect();
         assert_eq!(batched, serial);
+    }
+
+    /// The bitsliced lane engine must agree with serial gshare runs
+    /// exactly over its full claimed range, including the long-history
+    /// region (32 < h <= 2 * index_bits) the front door routes to it
+    /// and lane positions across the whole SWAR word.
+    #[test]
+    fn bitsliced_lane_engine_matches_serial_exactly() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let histories = [0, 1, 5, 10, 14, 20, 33, 36];
+        let batched = simulate_gshare_sweep_bitsliced(18, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(18, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+        // The front door routes to the lane engine whenever a history
+        // exceeds 32 bits — same results through that path.
+        assert_eq!(simulate_gshare_sweep(18, &histories, &flat), serial);
+    }
+
+    /// More than 32 configurations split into multiple lane groups; the
+    /// group boundary must be invisible in the results.
+    #[test]
+    fn bitsliced_lane_groups_chunk_past_32_configs() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let histories: Vec<u32> = (0..40).map(|i| i % 20).collect();
+        let batched = simulate_gshare_sweep_bitsliced(10, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(10, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+    }
+
+    /// The bitsliced front door falls back to the generic engine beyond
+    /// 2 * index_bits, like `simulate_gshare_sweep`.
+    #[test]
+    fn bitsliced_long_history_fallback_matches_serial() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let histories = [4, 17, 40, 64];
+        let batched = simulate_gshare_sweep_bitsliced(8, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(8, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+    }
+
+    /// The transposed engine must stay exact across multiple blocks
+    /// (table state carries over block boundaries) and at h = 32, the
+    /// top of its claimed range.
+    #[test]
+    fn transposed_engine_spans_blocks_exactly() {
+        let mut b = TraceBuilder::new("blocks");
+        // > 2 * TRANSPOSED_BLOCK conditionals with enough PC spread and
+        // outcome structure that block-boundary bugs would show.
+        for i in 0..(2 * TRANSPOSED_BLOCK as u64 + 1234) {
+            b.branch(BranchRecord::conditional(
+                Pc::new(0x1000 + (i % 4093) * 4),
+                Pc::new(0x2000),
+                (i * i / 7) % 3 != 0,
+            ));
+        }
+        let t = b.finish();
+        let flat = FlatTrace::from_trace(&t);
+        let histories = [0, 7, 16, 32];
+        let batched = simulate_gshare_sweep(16, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(16, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+    }
+
+    /// Geometries past BYTE_TABLE_MAX_BITS take the packed-word pass;
+    /// it must be just as exact (and histories past index_bits exercise
+    /// its fold).
+    #[test]
+    fn transposed_packed_fallback_matches_serial_exactly() {
+        let t = mixed_trace();
+        let flat = FlatTrace::from_trace(&t);
+        let histories = [0, 9, 23, 30];
+        let batched = simulate_gshare_sweep(BYTE_TABLE_MAX_BITS + 1, &histories, &flat);
+        let serial: Vec<_> = histories
+            .iter()
+            .map(|&h| simulate(Gshare::new(BYTE_TABLE_MAX_BITS + 1, h), &t))
+            .collect();
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn bitsliced_sweep_empty_inputs() {
+        let flat = FlatTrace::from_trace(&mixed_trace());
+        assert!(simulate_gshare_sweep_bitsliced(12, &[], &flat).is_empty());
+        let empty = FlatTrace::from_trace(&Trace::default());
+        let results = simulate_gshare_sweep_bitsliced(12, &[0, 8], &empty);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].conditional_branches, 0);
+        assert_eq!(results[1].mispredictions, 0);
     }
 
     /// Histories beyond 2 * index_bits route through the generic engine

@@ -26,6 +26,11 @@
 //!   per-branch provenance into attribution counters, runtime invariant
 //!   checks (§6 bank collisions, exact count reconciliation) and an
 //!   optional JSONL event stream.
+//! * [`window`] — windowed single-trace parallelism:
+//!   [`simulate_windowed`] splits one flat trace into contiguous windows
+//!   with warmup prefixes, simulates them on worker threads, and splices
+//!   the scoreboards — bit-identical to serial at full warmup and with a
+//!   measured, convergent misprediction error otherwise.
 //! * [`metrics`] — [`SimResult`] with misp/KI,
 //!   accuracy and counts.
 //! * [`sweep`] — parallel execution of simulation jobs over worker
@@ -57,10 +62,14 @@ pub mod observe;
 pub mod report;
 pub mod simulator;
 pub mod sweep;
+pub mod window;
 
-pub use batch::{simulate_flat, simulate_gshare_sweep, simulate_many};
+pub use batch::{
+    simulate_flat, simulate_gshare_sweep, simulate_gshare_sweep_bitsliced, simulate_many,
+};
 pub use metrics::SimResult;
 pub use observe::simulate_observed;
 pub use simulator::{
     simulate, simulate_stale_update, simulate_stale_update_with_scratch, simulate_with_faults,
 };
+pub use window::{simulate_windowed, WindowPlan, WindowedRun};

@@ -293,6 +293,56 @@ impl FlatTrace {
         }
     }
 
+    /// Walks the records in `range` (clamped to `0..len()`), invoking
+    /// `f` on each — the ranged form of [`FlatTrace::for_each`] that the
+    /// windowed simulation engine uses to warm up and measure one window
+    /// without touching the rest of the trace.
+    ///
+    /// Escape-free traces take the same chunked walk as `for_each`, with
+    /// the leading outcome word pre-shifted by `start & 63` so windows
+    /// that begin mid-word read the right bits. Traces with wide entries
+    /// fall back to per-record reconstruction. Yields exactly the records
+    /// `iter().skip(range.start).take(range.len())` yields (pinned by a
+    /// unit test).
+    #[inline]
+    pub fn for_each_in(&self, range: std::ops::Range<usize>, mut f: impl FnMut(&BranchRecord)) {
+        let start = range.start.min(self.len());
+        let end = range.end.min(self.len()).max(start);
+        if start == end {
+            return;
+        }
+        if !self.wide_pcs.is_empty() || !self.wide_gaps.is_empty() {
+            for i in start..end {
+                f(&self.record(i));
+            }
+            return;
+        }
+        let mut i = start;
+        while i < end {
+            // Consume up to the next outcome-word boundary (or `end`).
+            let upto = (((i >> 6) + 1) << 6).min(end);
+            let mut word = self.outcomes[i >> 6] >> (i & 63);
+            let pcs = &self.pc_words[i..upto];
+            let tgs = &self.target_words[i..upto];
+            let kinds = &self.kinds[i..upto];
+            let gaps = &self.gaps[i..upto];
+            let n = pcs.len();
+            let (tgs, kinds, gaps) = (&tgs[..n], &kinds[..n], &gaps[..n]);
+            for j in 0..n {
+                let record = BranchRecord {
+                    pc: Pc::new((pcs[j] as u64) << 2),
+                    target: Pc::new((tgs[j] as u64) << 2),
+                    kind: kind_from_code(kinds[j]),
+                    outcome: Outcome::from(word & 1 == 1),
+                    gap: gaps[j] as u32,
+                };
+                word >>= 1;
+                f(&record);
+            }
+            i = upto;
+        }
+    }
+
     /// Calls `f(pc_word, outcome)` for each *conditional* record, in
     /// order, where `pc_word` is the instruction-word index (`pc >> 2`).
     ///
@@ -575,6 +625,71 @@ mod tests {
         let mut none = 0u32;
         FlatTrace::from_trace(&Trace::default()).for_each(|_| none += 1);
         assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn for_each_in_matches_skip_take_across_word_boundaries() {
+        let mut b = TraceBuilder::new("ranged");
+        for i in 0..200u64 {
+            b.run(i % 7);
+            b.branch(BranchRecord::conditional(
+                Pc::new(0x1000 + i * 4),
+                Pc::new(0x2000),
+                i % 3 == 0,
+            ));
+            if i % 13 == 0 {
+                b.branch(BranchRecord::always_taken(
+                    Pc::new(0x3000),
+                    Pc::new(0x4000),
+                    BranchKind::Call,
+                ));
+            }
+        }
+        let t = b.finish();
+        let flat = FlatTrace::from_trace(&t);
+        assert!(flat.wide_pcs.is_empty() && flat.wide_gaps.is_empty());
+        let n = flat.len();
+        // Ranges starting/ending mid-word, on word boundaries, empty,
+        // full, inverted, and past the end (clamped).
+        let ranges = [
+            0..n,
+            0..0,
+            5..5,
+            0..1,
+            0..63,
+            0..64,
+            0..65,
+            1..64,
+            63..64,
+            63..65,
+            64..128,
+            37..101,
+            100..n,
+            n..n,
+            n - 1..n + 10,
+            10..3,
+        ];
+        for range in ranges {
+            let mut walked = Vec::new();
+            flat.for_each_in(range.clone(), |r| walked.push(*r));
+            let expected: Vec<_> = flat
+                .iter()
+                .skip(range.start)
+                .take(range.end.saturating_sub(range.start))
+                .collect();
+            assert_eq!(walked, expected, "range {range:?}");
+        }
+
+        // Escape fallback: wide PCs and gaps force per-record rebuild.
+        let hi = 0xFFFF_FFFF_FFFF_FF00u64;
+        let mut b = TraceBuilder::new("escapes");
+        b.branch(BranchRecord::conditional(Pc::new(4), Pc::new(hi), true));
+        b.branch(BranchRecord::conditional(Pc::new(hi), Pc::new(8), false).with_gap(u32::MAX));
+        b.branch(BranchRecord::conditional(Pc::new(8), Pc::new(16), true).with_gap(255));
+        let flat = FlatTrace::from_trace(&b.finish());
+        let mut walked = Vec::new();
+        flat.for_each_in(1..3, |r| walked.push(*r));
+        assert_eq!(walked, flat.iter().skip(1).take(2).collect::<Vec<_>>());
     }
 
     #[test]

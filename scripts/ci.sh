@@ -91,6 +91,23 @@ if [ "$sweep_elapsed" -gt "$SWEEP_BUDGET" ]; then
     exit 1
 fi
 
+# Bitsliced/windowed engine smoke, budgeted: the lane-sweep bit-identity
+# properties (transposed and SWAR engines vs serial over arbitrary
+# traces) and the windowed-splice accounting (exact at full warmup,
+# convergent misprediction delta vs the serial golden counts otherwise).
+# These also run inside the full batched_equivalence pass above; the
+# dedicated filter run keeps a budget pinned on the PR-7 engines alone,
+# so a blowout points at the lane/window hot paths and not the suite.
+BITSLICE_BUDGET="${EV8_BITSLICE_BUDGET:-120}"
+bitslice_start=$(date +%s)
+run cargo test -q --test batched_equivalence --offline -- bitsliced windowed
+bitslice_elapsed=$(( $(date +%s) - bitslice_start ))
+echo "==> bitsliced/windowed wall-clock: ${bitslice_elapsed}s (budget ${BITSLICE_BUDGET}s)"
+if [ "$bitslice_elapsed" -gt "$BITSLICE_BUDGET" ]; then
+    echo "error: bitsliced/windowed smoke exceeded its ${BITSLICE_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Cross-generation smoke, budgeted: the TAGE property suite (tagged-table
 # invariants under arbitrary streams, with literal-seed replay) plus one
 # shootout pass at a small scale — bimodal/gshare/2Bc-gskew/TAGE at the
