@@ -1,0 +1,203 @@
+//! Error taxonomy for the prediction service.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use ev8_trace::TraceError;
+
+/// Error produced by the server or the client helper.
+///
+/// Mirrors the [`TraceError`] discipline: every protocol-level variant
+/// carries the session byte offset at which the problem was detected,
+/// and the enum is `#[non_exhaustive]` so future hardening can add
+/// variants without a breaking release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Transport failure outside the framed decode path.
+    Io(io::Error),
+    /// The framed trace decode failed (cap, budget, corruption, EOF —
+    /// all with session offsets).
+    Trace(TraceError),
+    /// The peer violated the session protocol (unknown frame kind,
+    /// frame out of state-machine order, malformed payload field).
+    Protocol {
+        /// Description of the violation.
+        what: &'static str,
+        /// Session byte offset at which it was detected.
+        offset: u64,
+    },
+    /// Admission control rejected the session; retry after the delay.
+    Overloaded {
+        /// Server-suggested backoff before reconnecting.
+        retry_after: Duration,
+    },
+    /// The watchdog reaped the session: no complete frame arrived
+    /// within the stall budget (slowloris or dead peer).
+    Stalled {
+        /// The stall budget that expired.
+        after: Duration,
+    },
+    /// The server is draining for shutdown and closed the session.
+    Draining,
+    /// The peer reported an error through an `ERROR`/`CLOSED` frame.
+    Remote {
+        /// Machine-readable close code (see [`crate::proto::code`]).
+        code: u16,
+        /// Human-readable detail from the peer.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServerError::Trace(e) => write!(f, "session stream error: {e}"),
+            ServerError::Protocol { what, offset } => {
+                write!(f, "protocol violation ({what} at byte {offset})")
+            }
+            ServerError::Overloaded { retry_after } => {
+                write!(f, "server overloaded, retry after {retry_after:?}")
+            }
+            ServerError::Stalled { after } => {
+                write!(f, "session stalled (no frame within {after:?})")
+            }
+            ServerError::Draining => write!(f, "server draining for shutdown"),
+            ServerError::Remote { code, message } => {
+                write!(f, "peer closed session (code {code}: {message})")
+            }
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<TraceError> for ServerError {
+    fn from(e: TraceError) -> Self {
+        ServerError::Trace(e)
+    }
+}
+
+impl ServerError {
+    /// Whether this error is a read that exceeded the socket's stall
+    /// budget — the watchdog signal, distinct from a genuine transport
+    /// failure. Both `WouldBlock` and `TimedOut` are matched because the
+    /// platforms differ in which kind a timed-out socket read reports.
+    pub fn is_stall(&self) -> bool {
+        let kind = match self {
+            ServerError::Io(e) => e.kind(),
+            ServerError::Trace(TraceError::Io(e)) => e.kind(),
+            ServerError::Stalled { .. } => return true,
+            _ => return false,
+        };
+        matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<ServerError> {
+        vec![
+            ServerError::Io(io::Error::other("boom")),
+            ServerError::Trace(TraceError::UnexpectedEof { offset: 9 }),
+            ServerError::Protocol {
+                what: "frame out of order",
+                offset: 41,
+            },
+            ServerError::Overloaded {
+                retry_after: Duration::from_millis(250),
+            },
+            ServerError::Stalled {
+                after: Duration::from_secs(5),
+            },
+            ServerError::Draining,
+            ServerError::Remote {
+                code: 3,
+                message: "budget exhausted".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn display_and_debug_format_every_variant() {
+        for v in all_variants() {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn protocol_violations_report_their_offset() {
+        let e = ServerError::Protocol {
+            what: "x",
+            offset: 123,
+        };
+        assert!(e.to_string().contains("byte 123"));
+    }
+
+    #[test]
+    fn source_chain_reaches_wrapped_errors() {
+        for v in all_variants() {
+            let dyn_err: &dyn Error = &v;
+            match &v {
+                ServerError::Io(_) => {
+                    assert!(dyn_err
+                        .source()
+                        .unwrap()
+                        .downcast_ref::<io::Error>()
+                        .is_some());
+                }
+                ServerError::Trace(_) => {
+                    assert!(dyn_err
+                        .source()
+                        .unwrap()
+                        .downcast_ref::<TraceError>()
+                        .is_some());
+                }
+                _ => assert!(dyn_err.source().is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn stall_classification() {
+        assert!(ServerError::Io(io::Error::new(io::ErrorKind::WouldBlock, "t")).is_stall());
+        assert!(ServerError::Io(io::Error::new(io::ErrorKind::TimedOut, "t")).is_stall());
+        assert!(ServerError::Trace(TraceError::Io(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "t"
+        )))
+        .is_stall());
+        assert!(ServerError::Stalled {
+            after: Duration::from_secs(1)
+        }
+        .is_stall());
+        assert!(!ServerError::Io(io::Error::other("hard")).is_stall());
+        assert!(!ServerError::Draining.is_stall());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServerError>();
+    }
+}

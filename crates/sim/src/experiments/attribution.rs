@@ -198,17 +198,17 @@ mod tests {
             // §6 invariant: zero collisions everywhere.
             assert_eq!(r.table.cell(row, 9), "0");
             // The four action percentages cover every prediction.
-            let action_sum: f64 = (5..=8).map(|c| parse(&r.table.cell(row, c))).sum();
+            let action_sum: f64 = (5..=8).map(|c| parse(r.table.cell(row, c))).sum();
             assert!(
                 (action_sum - 100.0).abs() < 0.3,
                 "{name}: action mix sums to {action_sum}"
             );
             // Shares are percentages.
             for col in 2..=8 {
-                let v = parse(&r.table.cell(row, col));
+                let v = parse(r.table.cell(row, col));
                 assert!((0.0..=100.0).contains(&v), "{name} col {col}: {v}");
             }
-            let top_share = parse(&r.table.cell(row, 10));
+            let top_share = parse(r.table.cell(row, 10));
             assert!((0.0..=100.0).contains(&top_share));
         }
     }
@@ -256,7 +256,7 @@ mod tests {
         for (row, name) in spec95::NAMES.iter().enumerate() {
             // Unbanked subject: the §6 column reads 0.
             assert_eq!(r.table.cell(row, 9), "0");
-            let action_sum: f64 = (5..=8).map(|c| parse(&r.table.cell(row, c))).sum();
+            let action_sum: f64 = (5..=8).map(|c| parse(r.table.cell(row, c))).sum();
             assert!(
                 (action_sum - 100.0).abs() < 0.3,
                 "{name}: action mix sums to {action_sum}"

@@ -196,23 +196,19 @@ mod tests {
     fn degradation_is_monotone_within_noise_on_every_benchmark() {
         let r = report(0.002, default_workers());
         assert_eq!(r.table.len(), BENCHMARKS.len() * FAULT_RATES.len());
-        for b in 0..BENCHMARKS.len() {
+        for (b, bench) in BENCHMARKS.iter().enumerate() {
             // The "all arrays" column: endpoints must separate cleanly...
             let curve = column(&r, b, 2);
             assert!(
                 curve[FAULT_RATES.len() - 1] > curve[0],
-                "{}: fault storm {:?} should degrade the fault-free baseline",
-                BENCHMARKS[b],
-                curve
+                "{bench}: fault storm {curve:?} should degrade the fault-free baseline"
             );
             // ...and each step may regress only within noise (small
             // sample jitter), never by a structural amount.
             for w in curve.windows(2) {
                 assert!(
                     w[1] >= w[0] * 0.9 - 0.25,
-                    "{}: non-monotone step {:?} in {curve:?}",
-                    BENCHMARKS[b],
-                    w
+                    "{bench}: non-monotone step {w:?} in {curve:?}"
                 );
             }
         }

@@ -60,6 +60,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod observe;
 pub mod report;
+pub mod session;
 pub mod simulator;
 pub mod sweep;
 pub mod window;
@@ -69,6 +70,7 @@ pub use batch::{
 };
 pub use metrics::SimResult;
 pub use observe::simulate_observed;
+pub use session::{ProvenanceSummary, SessionSim, SessionSummary};
 pub use simulator::{
     simulate, simulate_stale_update, simulate_stale_update_with_scratch, simulate_with_faults,
 };

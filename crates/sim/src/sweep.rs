@@ -19,12 +19,44 @@
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use ev8_util::rng::mix;
+
+/// Job threads abandoned by a watchdog since process start.
+static ABANDONED_JOBS: AtomicU64 = AtomicU64::new(0);
+/// Abandoned job threads later observed finishing (their late result
+/// arrived at a collector and was discarded).
+static ABANDONED_JOBS_FINISHED_LATE: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of job threads abandoned by a
+/// [`run_parallel_with`] watchdog.
+///
+/// Abandonment leaks the thread by design (a hung computation cannot be
+/// cancelled safely), which used to be *silent* — nothing distinguished
+/// a process carrying dozens of zombie simulation threads from a healthy
+/// one. Supervisors (the prediction server's stats endpoint, long
+/// campaign reports) surface this counter so operators can see the leak
+/// budget being spent. Monotonic; never reset.
+pub fn abandoned_jobs() -> u64 {
+    ABANDONED_JOBS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of abandoned job threads that were later seen
+/// completing: their result arrived after the watchdog had settled the
+/// job and was discarded.
+///
+/// `abandoned_jobs() - abandoned_jobs_finished_late()` bounds the number
+/// of abandoned threads that may still be running right now (an upper
+/// bound — a late thread that finishes after its collector returned is
+/// never observed). Monotonic; never reset.
+pub fn abandoned_jobs_finished_late() -> u64 {
+    ABANDONED_JOBS_FINISHED_LATE.load(Ordering::Relaxed)
+}
 
 /// Runs `jobs` on up to `workers` threads and returns the results in job
 /// order.
@@ -248,6 +280,15 @@ impl<T> RunOutcome<T> {
         self.failures.is_empty()
     }
 
+    /// How many jobs in this run were reaped by the watchdog (each one
+    /// also bumped the process-wide [`abandoned_jobs`] counter).
+    pub fn timed_out(&self) -> usize {
+        self.failures
+            .iter()
+            .filter(|f| matches!(f.cause, FailureCause::TimedOut { .. }))
+            .count()
+    }
+
     /// Unwraps into the plain result vector.
     ///
     /// # Panics
@@ -433,7 +474,9 @@ pub fn run_parallel_with<T: Send + 'static>(
             Ok((i, attempts, out)) => {
                 if settled[i] {
                     // Late result from a thread abandoned by the
-                    // watchdog; the job already counts as failed.
+                    // watchdog; the job already counts as failed, but
+                    // the leaked thread is now known to have finished.
+                    ABANDONED_JOBS_FINISHED_LATE.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 settled[i] = true;
@@ -464,6 +507,7 @@ pub fn run_parallel_with<T: Send + 'static>(
                         settled[i] = true;
                         deadlines[i] = None;
                         in_flight -= 1;
+                        ABANDONED_JOBS.fetch_add(1, Ordering::Relaxed);
                         let failure = JobFailure {
                             job: i,
                             cause: FailureCause::TimedOut { after },
@@ -696,6 +740,88 @@ mod tests {
                 after: Duration::from_millis(100)
             }
         );
+    }
+
+    #[test]
+    fn watchdog_reaps_bump_the_abandonment_counter() {
+        // The counters are process-global and shared with every other
+        // test in this binary, so assert monotonic deltas, not values.
+        let before = abandoned_jobs();
+        let policy = RunPolicy::default()
+            .with_timeout(Duration::from_millis(80))
+            .degraded();
+        let jobs = fn_jobs(vec![
+            (|| 1u8) as fn() -> u8,
+            (|| {
+                thread::sleep(Duration::from_secs(3600));
+                0
+            }) as fn() -> u8,
+            (|| {
+                thread::sleep(Duration::from_secs(3600));
+                0
+            }) as fn() -> u8,
+        ]);
+        let outcome = run_parallel_with(jobs, 3, &policy);
+        assert_eq!(outcome.timed_out(), 2);
+        assert_eq!(outcome.failures.len(), 2);
+        let after = abandoned_jobs();
+        assert!(
+            after >= before + 2,
+            "expected at least 2 new abandonments, saw {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn clean_run_reports_zero_timed_out() {
+        let outcome = run_parallel_with(
+            fn_jobs(vec![(|| 1u8) as fn() -> u8, (|| 2u8) as fn() -> u8]),
+            2,
+            &RunPolicy::default().degraded(),
+        );
+        assert_eq!(outcome.timed_out(), 0);
+        assert!(outcome.is_complete());
+    }
+
+    #[test]
+    fn late_finishing_abandoned_thread_is_counted() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let before_late = abandoned_jobs_finished_late();
+        let reaped_job_done = Arc::new(AtomicBool::new(false));
+        let setter = Arc::clone(&reaped_job_done);
+        let waiter = Arc::clone(&reaped_job_done);
+        // One worker: job 0 outlives the watchdog and is abandoned at
+        // ~400 ms, which launches job 1. Job 1 holds the collector open
+        // until job 0's thread has finished (~600 ms), so the late result
+        // is still drained — and must be counted — before the run ends.
+        let jobs: Vec<Box<dyn Fn() -> u8 + Send>> = vec![
+            Box::new(move || {
+                thread::sleep(Duration::from_millis(600));
+                setter.store(true, Ordering::SeqCst);
+                0
+            }),
+            Box::new(move || {
+                while !waiter.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                // Slack for the late result to reach the collector first.
+                thread::sleep(Duration::from_millis(100));
+                1
+            }),
+        ];
+        let policy = RunPolicy::default()
+            .with_timeout(Duration::from_millis(400))
+            .degraded();
+        let outcome = run_parallel_with(jobs, 1, &policy);
+        assert_eq!(outcome.timed_out(), 1);
+        assert_eq!(outcome.results[1], Some(1));
+        let after_late = abandoned_jobs_finished_late();
+        assert!(
+            after_late > before_late,
+            "late finish not counted: {before_late} -> {after_late}"
+        );
+        // The process-wide bound stays consistent: threads seen finishing
+        // late can never outnumber threads abandoned.
+        assert!(abandoned_jobs_finished_late() <= abandoned_jobs());
     }
 
     #[test]

@@ -41,6 +41,34 @@ pub enum TraceError {
         /// Byte offset at which the data ran out.
         offset: u64,
     },
+    /// A frame header declared a payload larger than the per-frame cap.
+    ///
+    /// Streaming sessions must never buffer unbounded client input: a
+    /// forged length field is rejected *before* any payload allocation,
+    /// mirroring the header-prealloc hardening of the whole-trace codec.
+    FrameTooLarge {
+        /// The declared payload length.
+        len: u64,
+        /// The configured per-frame cap.
+        cap: u64,
+        /// Byte offset of the offending frame header.
+        offset: u64,
+    },
+    /// A cumulative per-session budget (bytes or records) was exhausted.
+    ///
+    /// Long-running sessions meter total consumption so a client cannot
+    /// stream forever: each charge that would cross the limit fails with
+    /// the usage that was attempted.
+    BudgetExceeded {
+        /// Which budget ran out (`"session bytes"` / `"session records"`).
+        what: &'static str,
+        /// Usage after the rejected charge.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Byte offset at which the budget ran out.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -58,6 +86,23 @@ impl fmt::Display for TraceError {
             }
             TraceError::UnexpectedEof { offset } => {
                 write!(f, "unexpected end of trace stream at byte {offset}")
+            }
+            TraceError::FrameTooLarge { len, cap, offset } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {cap}-byte cap at byte {offset}"
+                )
+            }
+            TraceError::BudgetExceeded {
+                what,
+                used,
+                limit,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "{what} budget exhausted ({used} > {limit}) at byte {offset}"
+                )
             }
         }
     }
@@ -98,6 +143,17 @@ mod tests {
                 offset: 12,
             },
             TraceError::UnexpectedEof { offset: 34 },
+            TraceError::FrameTooLarge {
+                len: 1 << 30,
+                cap: 1 << 20,
+                offset: 56,
+            },
+            TraceError::BudgetExceeded {
+                what: "session bytes",
+                used: 2048,
+                limit: 1024,
+                offset: 78,
+            },
         ]
     }
 
@@ -119,6 +175,10 @@ mod tests {
                     assert!(v.to_string().contains(&format!("byte {offset}")));
                 }
                 TraceError::UnexpectedEof { offset } => {
+                    assert!(v.to_string().contains(&format!("byte {offset}")));
+                }
+                TraceError::FrameTooLarge { offset, .. }
+                | TraceError::BudgetExceeded { offset, .. } => {
                     assert!(v.to_string().contains(&format!("byte {offset}")));
                 }
                 _ => {}

@@ -651,6 +651,7 @@ mod tests {
         let n = flat.len();
         // Ranges starting/ending mid-word, on word boundaries, empty,
         // full, inverted, and past the end (clamped).
+        #[allow(clippy::reversed_empty_ranges)] // inverted range is the point
         let ranges = [
             0..n,
             0..0,

@@ -19,6 +19,9 @@
 //!   to materialize.
 //! * [`stats`] — trace statistics (static/dynamic branch counts, bias
 //!   profiles) used to regenerate Table 2 of the paper.
+//! * [`frame`] — length-prefixed session framing with per-frame size
+//!   caps and cumulative per-session [`SessionBudget`]s, the hardened
+//!   substrate of the prediction-as-a-service protocol.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ mod builder;
 pub mod codec;
 mod error;
 mod flat;
+pub mod frame;
 pub mod stats;
 pub mod stream;
 mod trace;
@@ -52,3 +56,4 @@ pub use flat::{FlatIter, FlatTrace};
 pub use stats::TraceStats;
 pub use trace::{Iter, Trace};
 pub use types::{BranchKind, BranchRecord, Outcome, Pc};
+pub use wire::{SessionBudget, DEFAULT_FRAME_CAP};

@@ -92,6 +92,13 @@ impl<R: Read> CountingReader<R> {
         CountingReader { inner, offset: 0 }
     }
 
+    /// A reader whose offset starts at `offset` instead of 0 — used when
+    /// decoding a payload extracted from a larger stream (a frame body),
+    /// so errors report positions in the *session* stream, not the slice.
+    pub(crate) fn new_at(inner: R, offset: u64) -> Self {
+        CountingReader { inner, offset }
+    }
+
     /// Bytes successfully consumed so far.
     pub(crate) fn offset(&self) -> u64 {
         self.offset
@@ -161,6 +168,126 @@ impl<R: Read> CountingReader<R> {
             }
             shift += 7;
         }
+    }
+}
+
+/// Cumulative consumption limits for one streaming session.
+///
+/// PR 3 hardened the decoders against *structurally* forged input (a
+/// corrupt count field cannot buy a giant preallocation). Long-running
+/// sessions need the complementary *cumulative* guarantee: a client that
+/// sends perfectly well-formed input forever must still be cut off. A
+/// `SessionBudget` meters three things:
+///
+/// * the per-frame payload cap ([`SessionBudget::check_frame_len`]) —
+///   rejected before any payload allocation;
+/// * total bytes consumed across the session
+///   ([`SessionBudget::charge_bytes`]);
+/// * total records decoded across the session
+///   ([`SessionBudget::charge_records`]).
+///
+/// Every rejection is a structured [`TraceError`] carrying the byte
+/// offset at which the budget ran out, so server logs and close frames
+/// can report exactly where a client crossed the line.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionBudget {
+    max_frame_len: u64,
+    max_bytes: u64,
+    max_records: u64,
+    bytes: u64,
+    records: u64,
+}
+
+/// Default per-frame payload cap: 1 MiB.
+pub const DEFAULT_FRAME_CAP: u64 = 1 << 20;
+
+impl SessionBudget {
+    /// A budget with the given per-frame cap and cumulative limits.
+    pub fn new(max_frame_len: u64, max_bytes: u64, max_records: u64) -> Self {
+        SessionBudget {
+            max_frame_len,
+            max_bytes,
+            max_records,
+            bytes: 0,
+            records: 0,
+        }
+    }
+
+    /// A budget that never trips (all limits at `u64::MAX`).
+    pub fn unlimited() -> Self {
+        SessionBudget::new(u64::MAX, u64::MAX, u64::MAX)
+    }
+
+    /// The per-frame payload cap.
+    pub fn max_frame_len(&self) -> u64 {
+        self.max_frame_len
+    }
+
+    /// Bytes charged so far.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records charged so far.
+    pub fn records_used(&self) -> u64 {
+        self.records
+    }
+
+    /// Validates a declared frame-payload length against the per-frame
+    /// cap, *before* anything is allocated or read.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::FrameTooLarge`] at `offset` when `len` exceeds the
+    /// cap.
+    pub fn check_frame_len(&self, len: u64, offset: u64) -> Result<(), TraceError> {
+        if len > self.max_frame_len {
+            return Err(TraceError::FrameTooLarge {
+                len,
+                cap: self.max_frame_len,
+                offset,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges `n` bytes against the cumulative session byte budget.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BudgetExceeded`] at `offset` when the charge would
+    /// cross the limit (the charge is still recorded, so the reported
+    /// usage shows what was attempted).
+    pub fn charge_bytes(&mut self, n: u64, offset: u64) -> Result<(), TraceError> {
+        self.bytes = self.bytes.saturating_add(n);
+        if self.bytes > self.max_bytes {
+            return Err(TraceError::BudgetExceeded {
+                what: "session bytes",
+                used: self.bytes,
+                limit: self.max_bytes,
+                offset,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges `n` records against the cumulative session record budget.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BudgetExceeded`] at `offset` when the charge would
+    /// cross the limit.
+    pub fn charge_records(&mut self, n: u64, offset: u64) -> Result<(), TraceError> {
+        self.records = self.records.saturating_add(n);
+        if self.records > self.max_records {
+            return Err(TraceError::BudgetExceeded {
+                what: "session records",
+                used: self.records,
+                limit: self.max_records,
+                offset,
+            });
+        }
+        Ok(())
     }
 }
 

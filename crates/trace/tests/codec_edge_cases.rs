@@ -117,7 +117,7 @@ fn forged_huge_record_count_cannot_reserve_gigabytes() {
     buf.extend_from_slice(&[0x00, 0x00]); // a fragment of "records"
     match read_trace(buf.as_slice()) {
         Err(TraceError::UnexpectedEof { offset }) => {
-            assert!(offset as u64 <= buf.len() as u64);
+            assert!(offset <= buf.len() as u64);
         }
         other => panic!("forged count must fail structurally, got {other:?}"),
     }

@@ -1,0 +1,176 @@
+//! Regression tests for the streaming-session hardening: the per-frame
+//! size cap and the cumulative per-session byte/record budgets.
+//!
+//! Two adversaries frame the requirements (ISSUE 8, satellite 1):
+//!
+//! * the client that sends **one giant frame** — must be rejected from
+//!   the 5 header bytes alone, before any payload allocation;
+//! * the client that sends **unbounded small frames** — each frame is
+//!   individually legal, so only a cumulative budget stops the stream.
+
+use ev8_trace::frame::{
+    decode_records, encode_records, write_frame, FrameReader, FRAME_HEADER_LEN,
+};
+use ev8_trace::{BranchRecord, Pc, SessionBudget, TraceError};
+use ev8_util::bytebuf::ByteBuf;
+
+fn records(n: u64) -> Vec<BranchRecord> {
+    (0..n)
+        .map(|i| {
+            BranchRecord::conditional(Pc::new(0x1000 + i * 8), Pc::new(0x2000), i % 2 == 0)
+                .with_gap(3)
+        })
+        .collect()
+}
+
+/// A forged header declaring a multi-GiB payload dies on the cap check
+/// with the header's offset — no allocation, no read of the payload.
+#[test]
+fn one_giant_frame_is_rejected_before_allocation() {
+    // Hand-build a header claiming u32::MAX payload bytes, backed by no
+    // actual data: if the reader tried to allocate or read it, it would
+    // fail with EOF instead of the cap error.
+    let mut buf = vec![0x02u8];
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    let cap = 1 << 20;
+    let mut r = FrameReader::new(buf.as_slice(), SessionBudget::new(cap, u64::MAX, u64::MAX));
+    let mut payload = Vec::new();
+    match r.read_frame(&mut payload) {
+        Err(TraceError::FrameTooLarge {
+            len,
+            cap: c,
+            offset,
+        }) => {
+            assert_eq!(len, u64::from(u32::MAX));
+            assert_eq!(c, cap);
+            assert_eq!(offset, 0);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    assert_eq!(payload.capacity(), 0, "rejected frame drove an allocation");
+}
+
+/// A frame exactly at the cap passes; one byte over fails.
+#[test]
+fn frame_cap_boundary_is_exact() {
+    let cap = 64u64;
+    let mut ok = Vec::new();
+    write_frame(&mut ok, 1, &[7u8; 64]).unwrap();
+    let mut r = FrameReader::new(ok.as_slice(), SessionBudget::new(cap, u64::MAX, u64::MAX));
+    let mut p = Vec::new();
+    assert_eq!(r.read_frame(&mut p).unwrap().unwrap().len, 64);
+
+    let mut over = Vec::new();
+    write_frame(&mut over, 1, &[7u8; 65]).unwrap();
+    let mut r = FrameReader::new(over.as_slice(), SessionBudget::new(cap, u64::MAX, u64::MAX));
+    assert!(matches!(
+        r.read_frame(&mut p),
+        Err(TraceError::FrameTooLarge { len: 65, .. })
+    ));
+}
+
+/// The unbounded-small-frames client: every frame is tiny and legal, but
+/// the cumulative session byte budget cuts the stream off after a
+/// predictable number of frames.
+#[test]
+fn unbounded_small_frames_trip_the_byte_budget() {
+    let mut buf = Vec::new();
+    let frames = 1000usize;
+    for _ in 0..frames {
+        write_frame(&mut buf, 3, &[0u8; 11]).unwrap();
+    }
+    let per_frame = (FRAME_HEADER_LEN + 11) as u64;
+    let allowed = 20u64; // frames the budget admits
+    let mut r = FrameReader::new(
+        buf.as_slice(),
+        SessionBudget::new(u64::MAX, allowed * per_frame, u64::MAX),
+    );
+    let mut p = Vec::new();
+    let mut served = 0u64;
+    let err = loop {
+        match r.read_frame(&mut p) {
+            Ok(Some(_)) => served += 1,
+            Ok(None) => panic!("budget never tripped over {frames} frames"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(served, allowed);
+    match err {
+        TraceError::BudgetExceeded {
+            what, used, limit, ..
+        } => {
+            assert_eq!(what, "session bytes");
+            assert_eq!(limit, allowed * per_frame);
+            assert_eq!(used, (allowed + 1) * per_frame);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}
+
+/// The record budget is cumulative across frames: chunks that are each
+/// within bounds still exhaust the session's total.
+#[test]
+fn record_budget_is_cumulative_across_frames() {
+    let all = records(100);
+    let mut cursor = Pc::default();
+    let payloads: Vec<Vec<u8>> = all
+        .chunks(10)
+        .map(|chunk| {
+            let mut payload = ByteBuf::new();
+            encode_records(&mut payload, chunk, &mut cursor);
+            payload.into_vec()
+        })
+        .collect();
+
+    let mut budget = SessionBudget::new(u64::MAX, u64::MAX, 45);
+    let mut dec_cursor = Pc::default();
+    let mut out = Vec::new();
+    let mut failed_at = None;
+    for (i, p) in payloads.iter().enumerate() {
+        match decode_records(p, &mut dec_cursor, &mut budget, 0, &mut out) {
+            Ok(()) => {}
+            Err(TraceError::BudgetExceeded { what, .. }) => {
+                assert_eq!(what, "session records");
+                failed_at = Some(i);
+                break;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    // 10 records per frame, limit 45: frames 0..=3 pass (40 records), the
+    // fifth crosses the line.
+    assert_eq!(failed_at, Some(4));
+    assert_eq!(out.len(), 40);
+}
+
+/// Budgets compose with real decoding: a well-formed session under its
+/// budgets round-trips bit-exactly.
+#[test]
+fn budgeted_session_roundtrips_exactly() {
+    let all = records(64);
+    let mut cursor = Pc::default();
+    let mut stream = Vec::new();
+    for chunk in all.chunks(16) {
+        let mut payload = ByteBuf::new();
+        encode_records(&mut payload, chunk, &mut cursor);
+        write_frame(&mut stream, 0x03, payload.as_slice()).unwrap();
+    }
+
+    let mut r = FrameReader::new(
+        stream.as_slice(),
+        SessionBudget::new(1 << 16, 1 << 20, 1 << 10),
+    );
+    let mut p = Vec::new();
+    let mut dec_cursor = Pc::default();
+    let mut out = Vec::new();
+    while let Some(h) = r.read_frame(&mut p).unwrap() {
+        assert_eq!(h.kind, 0x03);
+        let base = r.offset() - u64::from(h.len);
+        let mut budget = *r.budget();
+        decode_records(&p, &mut dec_cursor, &mut budget, base, &mut out).unwrap();
+        *r.budget_mut() = budget;
+    }
+    assert_eq!(out, all);
+    assert_eq!(r.budget().records_used(), 64);
+    assert_eq!(r.budget().bytes_used(), stream.len() as u64);
+}

@@ -124,6 +124,24 @@ if [ "$shootout_elapsed" -gt "$SHOOTOUT_BUDGET" ]; then
     exit 1
 fi
 
+# Prediction-service smoke, budgeted: the chaos acceptance suite drives
+# a live Unix-socket server with 16 well-behaved concurrent clients plus
+# injected adversaries (seeded corrupt frame streams, truncated frames,
+# mid-stream disconnects, slowloris writers) and asserts no panic, every
+# stall reaped by the watchdog, healthy summaries bit-identical to the
+# serial simulator, and a clean counter-reconciled drain. The suite
+# finishes in a few seconds; the budget trips on supervision regressions
+# that turn reaping or draining into waiting.
+SERVER_BUDGET="${EV8_SERVER_BUDGET:-120}"
+server_start=$(date +%s)
+run cargo test -q --test server_chaos --offline
+server_elapsed=$(( $(date +%s) - server_start ))
+echo "==> server_chaos wall-clock: ${server_elapsed}s (budget ${SERVER_BUDGET}s)"
+if [ "$server_elapsed" -gt "$SERVER_BUDGET" ]; then
+    echo "error: server_chaos exceeded its ${SERVER_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays
