@@ -173,6 +173,46 @@ impl Client {
         }
     }
 
+    /// Simulates a server-side corpus workload by name: one
+    /// `BEGIN_WORKLOAD` frame replaces the whole `BEGIN`/`RECORDS`/`END`
+    /// exchange, the server streams its own catalog entry, and the
+    /// summary comes back exactly as for [`Client::run_trace`].
+    ///
+    /// `scale_ppm` is the trace scale in parts per million of the
+    /// benchmark's full length (1_000_000 = the full trace); it must
+    /// match a catalog entry on the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Remote`] with
+    /// [`code::UNKNOWN_WORKLOAD`](crate::proto::code::UNKNOWN_WORKLOAD)
+    /// when the server has no matching catalog entry; the usual
+    /// transport/protocol errors otherwise.
+    pub fn run_workload(
+        &mut self,
+        name: &str,
+        scale_ppm: u32,
+    ) -> Result<SessionSummary, ServerError> {
+        let mut out = Vec::new();
+        proto::encode_begin_workload(
+            &proto::BeginWorkload {
+                name: name.to_string(),
+                scale_ppm,
+            },
+            &mut out,
+        );
+        self.send_or_explain(kind::BEGIN_WORKLOAD, &out)?;
+        let (header, base) = read_frame(&mut self.reader, &mut self.payload)?;
+        match header {
+            kind::SUMMARY => proto::decode_summary(&self.payload, base),
+            kind::CLOSED | kind::ERROR => Err(remote_error(&self.payload, base)),
+            _ => Err(ServerError::Protocol {
+                what: "expected SUMMARY",
+                offset: base,
+            }),
+        }
+    }
+
     /// Sends one frame; when the transport is already dead, reads the
     /// terminal `ERROR`/`CLOSED` frame the server left behind (the
     /// machine-readable *reason* it tore the session down) and returns

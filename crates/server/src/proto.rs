@@ -22,6 +22,10 @@
 //!   |            SUMMARY{result, attrib}  |
 //!   |<------------------------------------|
 //!   |     ... more BEGIN/RECORDS/END ...  |
+//!   | BEGIN_WORKLOAD{name, scale_ppm}     |   (server-side corpus trace;
+//!   |------------------------------------>|    no RECORDS/END follow)
+//!   |            SUMMARY{result, attrib}  |
+//!   |<------------------------------------|
 //!   | BYE                                 |
 //!   |------------------------------------>|
 //!   |            CLOSED{code 0}           |
@@ -52,6 +56,10 @@ pub mod kind {
     pub const STATS_REQ: u8 = 0x05;
     /// Client: orderly goodbye.
     pub const BYE: u8 = 0x06;
+    /// Client: simulate a named server-side corpus workload
+    /// ([`super::BeginWorkload`]) — no `RECORDS`/`END` follow; the server
+    /// streams the catalog entry itself and replies with `SUMMARY`.
+    pub const BEGIN_WORKLOAD: u8 = 0x07;
     /// Server: handshake accepted ([`super::Welcome`]).
     pub const WELCOME: u8 = 0x81;
     /// Server: per-trace summary ([`super::encode_summary`]).
@@ -88,6 +96,9 @@ pub mod code {
     pub const OVERLOADED: u16 = 7;
     /// Unexpected server-side failure.
     pub const INTERNAL: u16 = 8;
+    /// A `BEGIN_WORKLOAD` named a workload the server's corpus catalog
+    /// does not carry (or the server has no corpus attached).
+    pub const UNKNOWN_WORKLOAD: u16 = 9;
 }
 
 /// Protocol version carried in `HELLO`/`WELCOME`.
@@ -337,6 +348,43 @@ pub fn decode_begin(payload: &[u8], base: u64) -> Result<Begin, ServerError> {
     let instructions = r.u64("instruction count")?;
     r.finish("begin")?;
     Ok(Begin { name, instructions })
+}
+
+/// Client named-workload frame: simulate a server-side corpus entry
+/// instead of streaming records.
+///
+/// The scale rides the wire in parts per million so the protocol stays
+/// float-free; the server resolves `(name, scale_ppm)` against its
+/// corpus catalog's pinned generator identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BeginWorkload {
+    /// Benchmark name (a `spec95` workload the server's catalog carries).
+    pub name: String,
+    /// Trace scale in parts per million of the benchmark's full length
+    /// (1_000_000 = the full 100M-instruction trace).
+    pub scale_ppm: u32,
+}
+
+/// Encodes a [`BeginWorkload`] payload.
+pub fn encode_begin_workload(b: &BeginWorkload, out: &mut Vec<u8>) {
+    out.clear();
+    put_str(out, &b.name);
+    put_u32(out, b.scale_ppm);
+}
+
+/// Decodes a [`BeginWorkload`] payload.
+pub fn decode_begin_workload(payload: &[u8], base: u64) -> Result<BeginWorkload, ServerError> {
+    let mut r = PayloadReader::new(payload, base);
+    let name = r.string("workload name")?;
+    let scale_ppm = r.u32("workload scale")?;
+    r.finish("begin_workload")?;
+    if scale_ppm == 0 {
+        return Err(ServerError::Protocol {
+            what: "workload scale must be positive",
+            offset: base,
+        });
+    }
+    Ok(BeginWorkload { name, scale_ppm })
 }
 
 /// Encodes a [`SessionSummary`] payload.
@@ -783,6 +831,29 @@ mod tests {
                 other => panic!("unexpected error {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn begin_workload_roundtrips_and_rejects_zero_scale() {
+        let b = BeginWorkload {
+            name: "gcc".to_string(),
+            scale_ppm: 2_000,
+        };
+        let mut buf = Vec::new();
+        encode_begin_workload(&b, &mut buf);
+        assert_eq!(decode_begin_workload(&buf, 0).unwrap(), b);
+        for cut in 0..buf.len() {
+            assert!(decode_begin_workload(&buf[..cut], 0).is_err());
+        }
+        encode_begin_workload(
+            &BeginWorkload {
+                name: "gcc".to_string(),
+                scale_ppm: 0,
+            },
+            &mut buf,
+        );
+        let err = decode_begin_workload(&buf, 0).expect_err("zero scale must fail");
+        assert!(err.to_string().contains("scale"), "{err}");
     }
 
     #[test]

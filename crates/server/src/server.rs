@@ -36,7 +36,7 @@ use std::os::unix::net::UnixListener;
 #[cfg(unix)]
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,8 @@ use ev8_sim::session::SessionSim;
 use ev8_sim::sweep::{self, backoff_delay, RunPolicy};
 use ev8_trace::frame::{write_frame, FrameReader};
 use ev8_trace::{BranchRecord, Pc, SessionBudget, TraceError, DEFAULT_FRAME_CAP};
+use ev8_workloads::corpus::{CorpusStore, StoreError};
+use ev8_workloads::spec95;
 
 use crate::conn::Conn;
 use crate::error::ServerError;
@@ -123,6 +125,10 @@ struct Shared {
     shutdown: AtomicBool,
     drain_deadline: Mutex<Option<Instant>>,
     queues: Vec<WorkerQueue>,
+    /// On-disk corpus served to `BEGIN_WORKLOAD` sessions; absent unless
+    /// [`Server::attach_corpus`] was called (the config struct is `Copy`,
+    /// so the store lives here).
+    corpus: OnceLock<Arc<CorpusStore>>,
 }
 
 impl Shared {
@@ -248,6 +254,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 drain_deadline: Mutex::new(None),
                 queues,
+                corpus: OnceLock::new(),
             }),
             listeners: Vec::new(),
         }
@@ -270,6 +277,13 @@ impl Server {
         let l = UnixListener::bind(path)?;
         self.listeners.push(Listener::Unix(l, path.to_path_buf()));
         Ok(())
+    }
+
+    /// Attaches an on-disk corpus store: sessions may then `BEGIN_WORKLOAD`
+    /// by catalog name instead of streaming their own records. At most one
+    /// store can be attached per server; later calls are ignored.
+    pub fn attach_corpus(&mut self, store: Arc<CorpusStore>) {
+        let _ = self.shared.corpus.set(store);
     }
 
     /// A control handle usable from other threads.
@@ -583,6 +597,62 @@ fn session_inner(conn: Conn, shared: &Shared) -> SessionEnd {
                 cursor = Pc::default();
                 in_trace = true;
             }
+            kind::BEGIN_WORKLOAD if !in_trace => {
+                let begin = match proto::decode_begin_workload(&payload, base) {
+                    Ok(b) => b,
+                    Err(e) => return close_on_server_error(&mut write, e),
+                };
+                // Resolve the name against spec95 (for the generator
+                // identity) and the catalog (for the file). Either miss is
+                // the same client-visible condition: no such workload here.
+                let entry = shared.corpus.get().and_then(|store| {
+                    let spec = spec95::benchmark(&begin.name)?;
+                    store
+                        .find_by_ppm(&spec, u64::from(begin.scale_ppm))
+                        .cloned()
+                        .map(|entry| (Arc::clone(store), entry))
+                });
+                let (store, entry) = match entry {
+                    Some(found) => found,
+                    None => {
+                        return close_with(
+                            &mut write,
+                            code::UNKNOWN_WORKLOAD,
+                            base,
+                            "no corpus entry for that workload",
+                        )
+                    }
+                };
+                let mut corpus_reader = match store.open_reader(&entry) {
+                    Ok(r) => r,
+                    Err(StoreError::Trace(e)) => return close_on_trace_error(&mut write, e),
+                    Err(e) => return close_with(&mut write, code::INTERNAL, base, &e.to_string()),
+                };
+                // Stream the corpus chunk by chunk through the session
+                // simulator — same per-record path as RECORDS frames, so
+                // the summary is bit-identical to a client-streamed run of
+                // the same trace on a fresh predictor.
+                sim.begin(corpus_reader.name(), corpus_reader.instruction_count());
+                loop {
+                    match corpus_reader.next_block() {
+                        Ok(Some(block)) => {
+                            shared
+                                .stats
+                                .records
+                                .fetch_add(block.len() as u64, Ordering::Relaxed);
+                            block.for_each(|rec| sim.feed(rec));
+                        }
+                        Ok(None) => break,
+                        Err(e) => return close_on_trace_error(&mut write, e),
+                    }
+                }
+                let summary = sim.finish();
+                shared.stats.traces.fetch_add(1, Ordering::Relaxed);
+                proto::encode_summary(&summary, &mut out);
+                if !send_frame(&mut write, kind::SUMMARY, &out) {
+                    return SessionEnd::Failed;
+                }
+            }
             kind::RECORDS if in_trace => {
                 records.clear();
                 if let Err(e) = ev8_trace::frame::decode_records(
@@ -641,6 +711,7 @@ fn close_on_trace_error(write: &mut Conn, e: TraceError) -> SessionEnd {
         TraceError::FrameTooLarge { offset, .. } => (code::FRAME_TOO_LARGE, *offset),
         TraceError::BudgetExceeded { offset, .. } => (code::BUDGET, *offset),
         TraceError::Corrupt { offset, .. } => (code::TRACE, *offset),
+        TraceError::ChecksumMismatch { offset, .. } => (code::TRACE, *offset),
         TraceError::UnexpectedEof { offset } => (code::TRACE, *offset),
         TraceError::Io(_) => (code::INTERNAL, 0),
         _ => (code::TRACE, 0),

@@ -15,7 +15,10 @@
 //!   pathology the paper's reference \[8\] warns about), while the faithful
 //!   commit-time model lives in
 //!   `TwoBcGskewConfig::with_commit_window` (validated by
-//!   [`experiments::delayed_update`]).
+//!   [`experiments::delayed_update`]); [`simulate_corpus`] is the same
+//!   immediate-update loop fed by a streaming
+//!   [`ev8_trace::corpus::CorpusReader`] decode, bit-identical to
+//!   [`simulate`] on the same trace without ever materializing it.
 //! * [`batch`] — the sweep engine: [`simulate_many`] steps K predictor
 //!   configurations per record in one pass over a packed
 //!   [`ev8_trace::FlatTrace`], bit-identical to K serial [`simulate`]
@@ -72,6 +75,7 @@ pub use metrics::SimResult;
 pub use observe::simulate_observed;
 pub use session::{ProvenanceSummary, SessionSim, SessionSummary};
 pub use simulator::{
-    simulate, simulate_stale_update, simulate_stale_update_with_scratch, simulate_with_faults,
+    simulate, simulate_corpus, simulate_stale_update, simulate_stale_update_with_scratch,
+    simulate_with_faults,
 };
 pub use window::{simulate_windowed, WindowPlan, WindowedRun};

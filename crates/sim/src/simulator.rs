@@ -6,7 +6,8 @@ use std::collections::VecDeque;
 use ev8_faults::{FaultInjector, FaultLog, FaultPlan};
 use ev8_predictors::introspect::FaultTarget;
 use ev8_predictors::BranchPredictor;
-use ev8_trace::{BranchRecord, Outcome, Trace};
+use ev8_trace::corpus::CorpusReader;
+use ev8_trace::{BranchRecord, Outcome, Trace, TraceError};
 
 use crate::metrics::SimResult;
 
@@ -30,6 +31,44 @@ pub fn simulate<P: BranchPredictor>(mut predictor: P, trace: &Trace) -> SimResul
         }
     }
     result
+}
+
+/// Runs a predictor over a streaming corpus decode with immediate
+/// update — [`simulate`] fed from disk instead of RAM.
+///
+/// Chunks decode one at a time into packed [`ev8_trace::FlatTrace`]
+/// blocks (see [`CorpusReader::next_block`]), so the 24 B/record AoS
+/// [`Trace`] is never materialized: resident memory is one chunk
+/// regardless of trace length. The per-record loop body is identical to
+/// [`simulate`]'s, and the corpus totals are validated during the walk,
+/// so for an uncorrupted corpus of the same trace the returned
+/// [`SimResult`] is bit-identical to the in-RAM path (pinned for the
+/// full Table 2 suite by `tests/corpus_pipeline.rs`).
+///
+/// # Errors
+///
+/// Propagates the first decode error ([`ev8_trace::TraceError`]) —
+/// checksum mismatch, structural corruption, truncation — without
+/// returning any partial result.
+pub fn simulate_corpus<P: BranchPredictor, R: std::io::Read>(
+    mut predictor: P,
+    reader: CorpusReader<R>,
+) -> Result<SimResult, TraceError> {
+    let mut result = SimResult {
+        trace: reader.name().to_owned(),
+        predictor: predictor.name(),
+        instructions: reader.instruction_count(),
+        ..SimResult::default()
+    };
+    reader.for_each(|record| {
+        if let Some(prediction) = predictor.predict_and_update(record) {
+            result.conditional_branches += 1;
+            if prediction != record.outcome {
+                result.mispredictions += 1;
+            }
+        }
+    })?;
+    Ok(result)
 }
 
 /// Runs a predictor over a trace with immediate update while injecting

@@ -69,6 +69,23 @@ pub enum TraceError {
         /// Byte offset at which the budget ran out.
         offset: u64,
     },
+    /// A stored checksum did not match the checksum of the bytes read.
+    ///
+    /// Produced by the corpus decoder: every compressed chunk and the
+    /// header + index region carry a CRC-32, so storage corruption that
+    /// survives the structural checks is still caught before any record
+    /// reaches a simulation.
+    ChecksumMismatch {
+        /// Which checksummed region failed (`"corpus header"`,
+        /// `"corpus chunk"`).
+        what: &'static str,
+        /// The checksum stored in the file.
+        expected: u32,
+        /// The checksum of the bytes actually read.
+        found: u32,
+        /// Byte offset of the start of the mismatching region.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -102,6 +119,17 @@ impl fmt::Display for TraceError {
                 write!(
                     f,
                     "{what} budget exhausted ({used} > {limit}) at byte {offset}"
+                )
+            }
+            TraceError::ChecksumMismatch {
+                what,
+                expected,
+                found,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "{what} checksum mismatch (stored {expected:#010x}, computed {found:#010x}) at byte {offset}"
                 )
             }
         }
@@ -154,6 +182,12 @@ mod tests {
                 limit: 1024,
                 offset: 78,
             },
+            TraceError::ChecksumMismatch {
+                what: "corpus chunk",
+                expected: 0xDEAD_BEEF,
+                found: 0x0BAD_F00D,
+                offset: 90,
+            },
         ]
     }
 
@@ -178,7 +212,8 @@ mod tests {
                     assert!(v.to_string().contains(&format!("byte {offset}")));
                 }
                 TraceError::FrameTooLarge { offset, .. }
-                | TraceError::BudgetExceeded { offset, .. } => {
+                | TraceError::BudgetExceeded { offset, .. }
+                | TraceError::ChecksumMismatch { offset, .. } => {
                     assert!(v.to_string().contains(&format!("byte {offset}")));
                 }
                 _ => {}

@@ -384,6 +384,109 @@ impl FlatTrace {
     }
 }
 
+/// Incrementally builds a [`FlatTrace`] one record at a time.
+///
+/// [`FlatTrace::from_trace`] needs the whole AoS [`Trace`] in memory
+/// first; the corpus streaming decoder ([`crate::corpus::CorpusReader`])
+/// instead packs each record into the flat columns as it is decoded, so
+/// a corpus replay never materializes the 24 B/record representation.
+/// The packing is bit-identical to `from_trace`'s — pinned by a unit
+/// test — so `FlatTraceBuilder` output is `==` to the equivalent
+/// `from_trace` result.
+///
+/// # Example
+///
+/// ```
+/// use ev8_trace::{BranchRecord, FlatTrace, FlatTraceBuilder, Pc, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("demo");
+/// b.branch(BranchRecord::conditional(Pc::new(0x40), Pc::new(0x80), true));
+/// let trace = b.finish();
+///
+/// let mut fb = FlatTraceBuilder::new("demo");
+/// for r in trace.records() {
+///     fb.push(r);
+/// }
+/// assert_eq!(fb.finish(), FlatTrace::from_trace(&trace));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FlatTraceBuilder {
+    flat: FlatTrace,
+}
+
+impl FlatTraceBuilder {
+    /// Starts an empty builder for a trace called `name`.
+    pub fn new(name: &str) -> Self {
+        FlatTraceBuilder {
+            flat: FlatTrace {
+                name: name.to_owned(),
+                ..FlatTrace::default()
+            },
+        }
+    }
+
+    /// Appends one record to the packed columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the record count would exceed `u32::MAX` (the wide
+    /// side tables index records with `u32`).
+    pub fn push(&mut self, r: &BranchRecord) {
+        let f = &mut self.flat;
+        let i = f.kinds.len();
+        assert!(
+            i < u32::MAX as usize,
+            "trace too long for the flat view's u32 record indices"
+        );
+        let pc_word = r.pc.as_u64() >> 2;
+        let target_word = r.target.as_u64() >> 2;
+        if pc_word > u32::MAX as u64 || target_word > u32::MAX as u64 {
+            f.wide_pcs
+                .push((i as u32, r.pc.as_u64(), r.target.as_u64()));
+        }
+        f.pc_words.push(pc_word as u32);
+        f.target_words.push(target_word as u32);
+        f.kinds.push(kind_code(r.kind));
+        if r.gap >= GAP_ESCAPE as u32 {
+            f.wide_gaps.push((i as u32, r.gap));
+            f.gaps.push(GAP_ESCAPE);
+        } else {
+            f.gaps.push(r.gap as u8);
+        }
+        if i & 63 == 0 {
+            f.outcomes.push(0);
+        }
+        if r.outcome.is_taken() {
+            f.outcomes[i >> 6] |= 1u64 << (i & 63);
+        }
+        if r.kind.is_conditional() {
+            f.conditional_count += 1;
+        }
+        f.instruction_count += 1 + r.gap as u64;
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Instructions accounted so far: one per record plus its gap, the
+    /// same accounting [`crate::TraceBuilder`] performs.
+    pub fn instruction_count(&self) -> u64 {
+        self.flat.instruction_count
+    }
+
+    /// Finishes the build and returns the packed trace.
+    pub fn finish(self) -> FlatTrace {
+        self.flat
+    }
+}
+
 impl From<&Trace> for FlatTrace {
     fn from(trace: &Trace) -> Self {
         FlatTrace::from_trace(trace)
@@ -691,6 +794,42 @@ mod tests {
         let mut walked = Vec::new();
         flat.for_each_in(1..3, |r| walked.push(*r));
         assert_eq!(walked, flat.iter().skip(1).take(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_builder_matches_from_trace_bit_for_bit() {
+        // Structural equality (derived PartialEq over every column and
+        // side table) across the interesting shapes: empty, boundary
+        // lengths around the 64-record outcome words, escapes.
+        let hi = 0xFFFF_FFFF_FFFF_FF00u64;
+        let mut traces = vec![Trace::default(), sample()];
+        for n in [1u64, 63, 64, 65, 130] {
+            let mut b = TraceBuilder::new("sizes");
+            for i in 0..n {
+                b.run(i % 9);
+                b.branch(BranchRecord::conditional(
+                    Pc::new(0x1000 + i * 4),
+                    Pc::new(0x2000),
+                    i % 3 == 0,
+                ));
+            }
+            traces.push(b.finish());
+        }
+        let mut b = TraceBuilder::new("escapes");
+        b.branch(BranchRecord::conditional(Pc::new(4), Pc::new(hi), true));
+        b.branch(BranchRecord::conditional(Pc::new(hi), Pc::new(8), false).with_gap(u32::MAX));
+        b.branch(BranchRecord::conditional(Pc::new(8), Pc::new(16), true).with_gap(255));
+        traces.push(b.finish());
+
+        for t in traces {
+            let mut fb = FlatTraceBuilder::new(t.name());
+            for r in t.records() {
+                fb.push(r);
+            }
+            assert_eq!(fb.len(), t.len());
+            assert_eq!(fb.instruction_count(), t.instruction_count());
+            assert_eq!(fb.finish(), FlatTrace::from_trace(&t), "{}", t.name());
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`frame`] — length-prefixed session framing with per-frame size
 //!   caps and cumulative per-session [`SessionBudget`]s, the hardened
 //!   substrate of the prediction-as-a-service protocol.
+//! * [`corpus`] — a chunked, compressed, checksummed on-disk corpus
+//!   container whose [`corpus::CorpusReader`] streams chunk-by-chunk
+//!   into packed [`FlatTrace`] blocks, never materializing the AoS
+//!   representation.
 //!
 //! # Example
 //!
@@ -41,9 +45,11 @@
 
 mod builder;
 pub mod codec;
+pub mod corpus;
 mod error;
 mod flat;
 pub mod frame;
+mod lz;
 pub mod stats;
 pub mod stream;
 mod trace;
@@ -52,7 +58,7 @@ mod wire;
 
 pub use builder::TraceBuilder;
 pub use error::TraceError;
-pub use flat::{FlatIter, FlatTrace};
+pub use flat::{FlatIter, FlatTrace, FlatTraceBuilder};
 pub use stats::TraceStats;
 pub use trace::{Iter, Trace};
 pub use types::{BranchKind, BranchRecord, Outcome, Pc};

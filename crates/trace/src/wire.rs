@@ -104,6 +104,13 @@ impl<R: Read> CountingReader<R> {
         self.offset
     }
 
+    /// Mutable access to the wrapped reader. The corpus decoder uses
+    /// this to snapshot (and then disable) its prologue CRC accumulator
+    /// once the checksummed header + index region has been consumed.
+    pub(crate) fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
     /// Builds a [`TraceError::Corrupt`] at the current offset.
     pub(crate) fn corrupt(&self, what: &'static str) -> TraceError {
         TraceError::Corrupt {
@@ -353,9 +360,12 @@ pub(crate) fn put_record(buf: &mut ByteBuf, rec: &BranchRecord, prev_next: Pc) {
         tag |= TAKEN_BIT;
     }
     buf.put_u8(tag);
-    let pc_delta = rec.pc.as_u64() as i64 - prev_next.as_u64() as i64;
+    // Wrapping two's-complement deltas: PCs span the full u64 space, so
+    // the difference can exceed i64 — the wrap is reversed bit-exactly
+    // by the wrapping add on decode.
+    let pc_delta = rec.pc.as_u64().wrapping_sub(prev_next.as_u64()) as i64;
     put_varint(buf, zigzag_encode(pc_delta));
-    let tgt_delta = rec.target.as_u64() as i64 - rec.pc.as_u64() as i64;
+    let tgt_delta = rec.target.as_u64().wrapping_sub(rec.pc.as_u64()) as i64;
     put_varint(buf, zigzag_encode(tgt_delta));
     put_varint(buf, rec.gap as u64);
 }
@@ -381,9 +391,9 @@ pub(crate) fn read_record_body<R: Read>(
         });
     }
     let pc_delta = zigzag_decode(r.read_varint()?);
-    let pc = Pc::new((prev_next.as_u64() as i64 + pc_delta) as u64);
+    let pc = Pc::new(prev_next.as_u64().wrapping_add(pc_delta as u64));
     let tgt_delta = zigzag_decode(r.read_varint()?);
-    let target = Pc::new((pc.as_u64() as i64 + tgt_delta) as u64);
+    let target = Pc::new(pc.as_u64().wrapping_add(tgt_delta as u64));
     let gap_at = r.offset();
     let gap = r.read_varint()?;
     let gap = u32::try_from(gap).map_err(|_| TraceError::Corrupt {

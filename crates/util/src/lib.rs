@@ -17,6 +17,8 @@
 //!   `proptest`).
 //! * [`bench`] — a lightweight `std::time::Instant`-based benchmark
 //!   harness for `harness = false` bench targets (replaces `criterion`).
+//! * [`crc`] — table-driven CRC-32 (IEEE) checksums for the on-disk
+//!   corpus format (replaces `crc32fast`).
 //!
 //! Everything here is plain `std`; the crate forbids `unsafe` and has no
 //! dependencies, so `cargo build`/`test`/`bench` succeed with the network
@@ -27,6 +29,7 @@
 
 pub mod bench;
 pub mod bytebuf;
+pub mod crc;
 pub mod json;
 pub mod prop;
 pub mod rng;

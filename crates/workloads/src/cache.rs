@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use ev8_trace::{FlatTrace, Trace};
 
+use crate::corpus::CorpusStore;
 use crate::program::ProgramSpec;
 
 /// Cache key: the spec's identity plus the *scaled* instruction count.
@@ -27,11 +28,36 @@ use crate::program::ProgramSpec;
 /// Keying on the resolved `u64` instruction count (instead of the `f64`
 /// scale) avoids float keys and collapses distinct scales that round to
 /// the same trace length — those produce identical traces anyway.
+///
+/// `fingerprint` is [`ProgramSpec::fingerprint`] of the *scaled* spec:
+/// it covers every generator input (behaviour mix, density, skew, noise,
+/// ... plus the generator algorithm version), closing the latent
+/// collision where two specs sharing `(name, seed, instructions)` but
+/// differing elsewhere — or the same spec across a generator change —
+/// would silently shadow each other's cached traces. The readable
+/// fields stay in the key for debuggability; the fingerprint is what
+/// makes it sound.
 #[derive(Clone, Hash, PartialEq, Eq, Debug)]
 struct Key {
     name: String,
     seed: u64,
     instructions: u64,
+    fingerprint: u64,
+}
+
+impl Key {
+    /// The key for `spec` resolved at `instructions` dynamic length.
+    fn scaled(spec: &ProgramSpec, instructions: u64) -> (Key, ProgramSpec) {
+        let mut scaled = spec.clone();
+        scaled.instructions = instructions;
+        let key = Key {
+            name: scaled.name.clone(),
+            seed: scaled.seed,
+            instructions,
+            fingerprint: scaled.fingerprint(),
+        };
+        (key, scaled)
+    }
 }
 
 /// A memoizing trace store keyed by (spec name, seed, scaled length).
@@ -86,22 +112,14 @@ impl TraceCache {
     pub fn get_scaled(&self, spec: &ProgramSpec, scale: f64) -> Arc<Trace> {
         assert!(scale > 0.0, "scale must be positive");
         let instructions = ((spec.instructions as f64) * scale).max(1.0) as u64;
-        let key = Key {
-            name: spec.name.clone(),
-            seed: spec.seed,
-            instructions,
-        };
+        let (key, scaled) = Key::scaled(spec, instructions);
         let cell = {
             let mut map = self.entries.lock().expect("trace cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
         // The map lock is released; generation for this key happens at
         // most once, and other keys proceed concurrently.
-        Arc::clone(cell.get_or_init(|| {
-            let mut scaled = spec.clone();
-            scaled.instructions = instructions;
-            Arc::new(scaled.generate())
-        }))
+        Arc::clone(cell.get_or_init(|| Arc::new(scaled.generate())))
     }
 
     /// Returns the packed [`FlatTrace`] view of `spec` scaled by `scale`,
@@ -119,11 +137,7 @@ impl TraceCache {
     pub fn get_flat_scaled(&self, spec: &ProgramSpec, scale: f64) -> Arc<FlatTrace> {
         assert!(scale > 0.0, "scale must be positive");
         let instructions = ((spec.instructions as f64) * scale).max(1.0) as u64;
-        let key = Key {
-            name: spec.name.clone(),
-            seed: spec.seed,
-            instructions,
-        };
+        let (key, _) = Key::scaled(spec, instructions);
         let cell = {
             let mut map = self.flat_entries.lock().expect("trace cache poisoned");
             Arc::clone(map.entry(key).or_default())
@@ -133,6 +147,43 @@ impl TraceCache {
             // stale-update simulation) keep using it, so both views share
             // one generation.
             Arc::new(FlatTrace::from_trace(&self.get_scaled(spec, scale)))
+        }))
+    }
+
+    /// The disk-backed tier: like [`TraceCache::get_scaled`], but on a
+    /// cache miss the trace is loaded from `store`'s on-disk corpus
+    /// when a catalog entry with the exact generator identity exists
+    /// (same benchmark, seed, scaled length, spec fingerprint and
+    /// corpus format version), falling back to generation otherwise.
+    ///
+    /// Corpus content is only preferred, never trusted blindly: the
+    /// catalog pins record/instruction counts, every chunk carries a
+    /// CRC, and any decode or metadata failure silently falls back to
+    /// regeneration — so this method can never return a wrong trace,
+    /// only skip the disk fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn cached_or_corpus(
+        &self,
+        store: &CorpusStore,
+        spec: &ProgramSpec,
+        scale: f64,
+    ) -> Arc<Trace> {
+        assert!(scale > 0.0, "scale must be positive");
+        let instructions = ((spec.instructions as f64) * scale).max(1.0) as u64;
+        let (key, scaled) = Key::scaled(spec, instructions);
+        let cell = {
+            let mut map = self.entries.lock().expect("trace cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let from_disk = store
+                .find(spec, scale)
+                .and_then(|entry| store.open_reader(entry).ok())
+                .and_then(|reader| reader.read_trace().ok());
+            Arc::new(from_disk.unwrap_or_else(|| scaled.generate()))
         }))
     }
 
@@ -273,5 +324,93 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_rejected() {
         TraceCache::new().get_scaled(&tiny_spec(), 0.0);
+    }
+
+    #[test]
+    fn specs_differing_only_in_mix_get_distinct_entries() {
+        // Regression: the key once covered only (name, seed, scaled
+        // length), so two specs differing elsewhere — or across a
+        // generator version bump — shadowed each other's entries. The
+        // fingerprint closes that.
+        let cache = TraceCache::new();
+        let a = tiny_spec();
+        let mut b = a.clone();
+        b.noise = (b.noise + 0.3).min(1.0);
+        assert_eq!(
+            (&a.name, a.seed, a.instructions),
+            (&b.name, b.seed, b.instructions)
+        );
+        let trace_a = cache.get_scaled(&a, 0.5);
+        let trace_b = cache.get_scaled(&b, 0.5);
+        assert_eq!(cache.len(), 2, "distinct specs must not share a cache slot");
+        assert!(!Arc::ptr_eq(&trace_a, &trace_b));
+        assert_eq!(*trace_b, b.generate_scaled(0.5));
+    }
+
+    fn tmp_store(tag: &str) -> CorpusStore {
+        let dir =
+            std::env::temp_dir().join(format!("ev8-cache-corpus-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CorpusStore::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn corpus_tier_serves_disk_content_and_falls_back() {
+        let mut store = tmp_store("tier");
+        let spec = tiny_spec();
+        store.build(&spec, 0.5).unwrap();
+
+        // Hit: the catalog entry matches, so the trace streams from disk
+        // and is bit-identical to generation (the corpus was built from
+        // the same generator).
+        let cache = TraceCache::new();
+        let from_disk = cache.cached_or_corpus(&store, &spec, 0.5);
+        assert_eq!(*from_disk, spec.generate_scaled(0.5));
+        // Second call is a pure cache hit.
+        let again = cache.cached_or_corpus(&store, &spec, 0.5);
+        assert!(Arc::ptr_eq(&from_disk, &again));
+
+        // Miss (no entry at this scale): transparently regenerates.
+        let fallback = cache.cached_or_corpus(&store, &spec, 0.25);
+        assert_eq!(*fallback, spec.generate_scaled(0.25));
+
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corpus_tier_ignores_entries_from_other_generators() {
+        // A corpus built from a different spec sharing (name, seed,
+        // scaled length) must be invisible: the fingerprint in the
+        // catalog key keeps the stale file from shadowing regeneration.
+        let mut store = tmp_store("fingerprint");
+        let spec = tiny_spec();
+        let mut other = spec.clone();
+        other.noise = (other.noise + 0.3).min(1.0);
+        store.build(&other, 0.5).unwrap();
+
+        let cache = TraceCache::new();
+        let trace = cache.cached_or_corpus(&store, &spec, 0.5);
+        assert_eq!(*trace, spec.generate_scaled(0.5));
+
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corpus_tier_survives_a_corrupt_file() {
+        // Decode failures fall back to generation instead of erroring.
+        let mut store = tmp_store("corrupt");
+        let spec = tiny_spec();
+        let entry = store.build(&spec, 0.5).unwrap().clone();
+        let path = store.dir().join(&entry.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cache = TraceCache::new();
+        let trace = cache.cached_or_corpus(&store, &spec, 0.5);
+        assert_eq!(*trace, spec.generate_scaled(0.5));
+
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 }

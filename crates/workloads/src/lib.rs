@@ -21,6 +21,11 @@
 //!   ([`cache::TraceCache`]): generation is deterministic, so tests and
 //!   experiments fetch shared `Arc<Trace>`s via [`spec95::cached`]
 //!   instead of regenerating the same trace at every call site.
+//! * [`corpus`] — the disk tier below the cache: a
+//!   [`corpus::CorpusStore`] catalogs compressed on-disk corpus files
+//!   (the `ev8_trace::corpus` container) keyed by the full generator
+//!   identity, so simulations can stream persisted traces instead of
+//!   regenerating them ([`cache::TraceCache::cached_or_corpus`]).
 //!
 //! What the substitution preserves (and what it does not): the experiments
 //! in the paper measure *relative* predictor quality driven by aliasing
@@ -44,6 +49,7 @@
 
 pub mod behavior;
 pub mod cache;
+pub mod corpus;
 pub mod program;
 pub mod spec95;
 pub mod zipf;

@@ -203,7 +203,57 @@ impl ProgramSpec {
         spec.instructions = ((self.instructions as f64) * scale).max(1.0) as u64;
         generate(&spec)
     }
+
+    /// A stable 64-bit fingerprint of the *generator identity*: every
+    /// spec field (floats by bit pattern) plus [`GENERATOR_VERSION`].
+    ///
+    /// Two specs generate the same trace only if their fingerprints
+    /// match, so this is the key component that prevents a trace cached
+    /// or persisted under one spec from shadowing a different spec that
+    /// happens to share its `(name, seed, instructions)` triple — the
+    /// latent collision the corpus tier exposed. The trace cache and the
+    /// corpus catalog both key on it.
+    ///
+    /// The hash is FNV-1a over a fixed little-endian field serialization;
+    /// it depends only on the spec's values, never on pointer identity or
+    /// process state, so fingerprints are comparable across runs and
+    /// across machines.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&GENERATOR_VERSION.to_le_bytes());
+        eat(self.name.as_bytes());
+        eat(&[0]); // terminator so the name cannot bleed into the seed
+        eat(&self.seed.to_le_bytes());
+        eat(&(self.static_branches as u64).to_le_bytes());
+        eat(&self.instructions.to_le_bytes());
+        eat(&self.branch_density.to_bits().to_le_bytes());
+        eat(&self.mix.biased.to_bits().to_le_bytes());
+        eat(&self.mix.loops.to_bits().to_le_bytes());
+        eat(&self.mix.patterns.to_bits().to_le_bytes());
+        eat(&self.mix.correlated.to_bits().to_le_bytes());
+        eat(&self.mix.random.to_bits().to_le_bytes());
+        eat(&self.hotness_skew.to_bits().to_le_bytes());
+        eat(&self.call_fraction.to_bits().to_le_bytes());
+        eat(&self.noise.to_bits().to_le_bytes());
+        eat(&self.chain_length_bias.to_bits().to_le_bytes());
+        h
+    }
 }
+
+/// Version of the trace-generation *algorithm*. Bump this whenever a
+/// change to the generator (behaviour sampling, layout, walk order)
+/// alters the bytes a given [`ProgramSpec`] produces: fingerprints then
+/// change, invalidating stale cache entries and corpus catalog rows
+/// instead of letting them shadow regenerated traces.
+pub const GENERATOR_VERSION: u32 = 1;
 
 /// One static conditional branch site.
 #[derive(Clone, Debug)]

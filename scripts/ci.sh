@@ -142,6 +142,33 @@ if [ "$server_elapsed" -gt "$SERVER_BUDGET" ]; then
     exit 1
 fi
 
+# Corpus smoke, budgeted: the on-disk container's whole contract — the
+# property roundtrip suite (arbitrary traces across chunk sizes), the
+# golden byte-level format pin (re-bless intended format changes with
+# EV8_BLESS_GOLDEN=1 after bumping CORPUS_VERSION), the corruption sweep
+# (10k seeded body mutations, all caught by the chunk CRC), and the
+# differential pipeline pin (streaming decode → simulate bit-identical
+# to the in-RAM path, cache tier, server BEGIN_WORKLOAD end-to-end).
+# Then the builder binary round-trips a real store on disk at smoke
+# scale and re-verifies every chunk checksum through the catalog.
+CORPUS_BUDGET="${EV8_CORPUS_BUDGET:-120}"
+corpus_start=$(date +%s)
+run cargo test -q -p ev8-trace --test corpus_roundtrip --offline
+run cargo test -q --test corpus_format --offline
+run cargo test -q --test corpus_corruption --offline
+run cargo test -q --test corpus_pipeline --offline
+corpus_smoke_dir="$PWD/target/corpus-smoke"
+rm -rf "$corpus_smoke_dir"
+run env EV8_SCALE=0.002 cargo run -q --release --offline -p ev8-bench --bin corpus -- build "$corpus_smoke_dir"
+run cargo run -q --release --offline -p ev8-bench --bin corpus -- verify "$corpus_smoke_dir"
+rm -rf "$corpus_smoke_dir"
+corpus_elapsed=$(( $(date +%s) - corpus_start ))
+echo "==> corpus wall-clock: ${corpus_elapsed}s (budget ${CORPUS_BUDGET}s)"
+if [ "$corpus_elapsed" -gt "$CORPUS_BUDGET" ]; then
+    echo "error: corpus smoke exceeded its ${CORPUS_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays
@@ -156,7 +183,9 @@ if [ "$QUICK" -eq 0 ]; then
     # bench's default scale.
     # EV8_SHOOTOUT_SCALE likewise keeps the accuracy-recording shootout
     # group at smoke size.
+    # EV8_CORPUS_SCALE keeps the corpus codec group at smoke size too.
     run env EV8_BENCH_SAMPLES=1 EV8_SWEEP_SCALE=0.02 EV8_SHOOTOUT_SCALE=0.002 \
+        EV8_CORPUS_SCALE=0.002 \
         EV8_BENCH_JSON="$PWD/target/bench-smoke.json" \
         cargo bench --offline -p ev8-bench
 fi

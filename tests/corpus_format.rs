@@ -1,0 +1,185 @@
+//! Format-stability suite: the exact on-disk bytes of a tiny
+//! multi-chunk corpus, pinned as a hex dump in
+//! `tests/golden_corpus.fixture`. Any change to the container layout,
+//! the varint/delta wire format, the LZ token stream, or the CRC
+//! polynomial moves a byte here and fails loudly.
+//!
+//! When the format version is *intentionally* bumped, bless a new
+//! fixture and commit it alongside the `CORPUS_VERSION` change:
+//!
+//! ```text
+//! EV8_BLESS_GOLDEN=1 cargo test --test corpus_format --offline
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ev8_trace::corpus::{write_corpus_chunked, CorpusReader, CORPUS_MAGIC, CORPUS_VERSION};
+use ev8_trace::{BranchRecord, Pc, Trace, TraceBuilder, TraceError};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_corpus.fixture")
+}
+
+/// A small, fully deterministic trace exercising every wire feature:
+/// forward/backward PC deltas, a wide PC beyond the u32-word fast path,
+/// a gap above the u8 escape, the taken/not-taken bit, and enough
+/// records for three chunks (two full, one partial) at `chunk_len` 4.
+fn golden_trace() -> Trace {
+    let mut b = TraceBuilder::new("golden");
+    let pcs: [u64; 10] = [
+        0x0000_4000,
+        0x0000_4040,
+        0x0000_3f00, // backward branch
+        0x0000_4040,
+        0xFFFF_FFFF_0000_0010, // wide PC escape
+        0x0000_4080,
+        0x0000_40c0,
+        0x0000_4100,
+        0x0000_4100, // repeated PC (zero delta)
+        0x0000_8000,
+    ];
+    for (i, &pc) in pcs.iter().enumerate() {
+        let gap = match i {
+            4 => 300, // above the u8 gap escape at 255
+            _ => (i as u32) % 5,
+        };
+        b.branch(
+            BranchRecord::conditional(Pc::new(pc), Pc::new(0x9000 + i as u64 * 0x40), i % 3 != 0)
+                .with_gap(gap),
+        );
+    }
+    b.finish()
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_corpus_chunked(&mut bytes, &golden_trace(), 4).expect("encode");
+    bytes
+}
+
+/// Lowercase hex, 32 bytes per line, LF-terminated — stable under text
+/// diffing and immune to editors normalizing binary content.
+fn hex_dump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            write!(out, "{b:02x}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_hex_dump(dump: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    for line in dump.lines() {
+        assert!(line.len() % 2 == 0, "odd hex line in fixture: {line}");
+        for i in (0..line.len()).step_by(2) {
+            out.push(u8::from_str_radix(&line[i..i + 2], 16).expect("hex fixture byte"));
+        }
+    }
+    out
+}
+
+#[test]
+fn on_disk_bytes_match_golden_fixture() {
+    let got = hex_dump(&golden_bytes());
+    let path = fixture_path();
+
+    if std::env::var_os("EV8_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden fixture");
+        println!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             EV8_BLESS_GOLDEN=1 cargo test --test corpus_format",
+            path.display()
+        )
+    });
+
+    if got != want {
+        let mut diff = String::new();
+        for (line, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                writeln!(diff, "  line {}: fixture `{w}` vs current `{g}`", line + 1).unwrap();
+            }
+        }
+        if got.lines().count() != want.lines().count() {
+            writeln!(
+                diff,
+                "  line count: fixture {} vs current {}",
+                want.lines().count(),
+                got.lines().count()
+            )
+            .unwrap();
+        }
+        panic!(
+            "corpus on-disk bytes diverged from the pinned format:\n{diff}\
+             if a format change is intended, bump CORPUS_VERSION and re-bless with \
+             EV8_BLESS_GOLDEN=1 cargo test --test corpus_format"
+        );
+    }
+}
+
+#[test]
+fn fixture_bytes_decode_to_the_golden_trace() {
+    // The fixture is not just stable — it stays *readable*: the exact
+    // pinned bytes decode to the exact source trace on today's reader.
+    let want = match std::fs::read_to_string(fixture_path()) {
+        Ok(s) => s,
+        // The bless run creates the file; nothing to check until then.
+        Err(_) => return,
+    };
+    let bytes = parse_hex_dump(&want);
+    let reader = CorpusReader::new(bytes.as_slice()).expect("pinned header");
+    assert_eq!(
+        reader.chunk_count(),
+        3,
+        "2 full chunks + 1 partial at chunk_len 4"
+    );
+    assert_eq!(reader.read_trace().expect("pinned decode"), golden_trace());
+}
+
+#[test]
+fn fixture_starts_with_magic_and_current_version() {
+    let bytes = golden_bytes();
+    assert_eq!(&bytes[..4], &CORPUS_MAGIC);
+    assert_eq!(
+        u16::from_le_bytes([bytes[4], bytes[5]]),
+        CORPUS_VERSION,
+        "version field lives at offset 4, little-endian"
+    );
+}
+
+#[test]
+fn newer_format_versions_are_rejected_cleanly() {
+    // A reader from this build must refuse a file stamped with a future
+    // version — a typed error naming the version, not a garbage decode.
+    let mut bytes = golden_bytes();
+    let future = (CORPUS_VERSION + 1).to_le_bytes();
+    bytes[4] = future[0];
+    bytes[5] = future[1];
+    match CorpusReader::new(bytes.as_slice()) {
+        Err(TraceError::UnsupportedVersion { found }) => {
+            assert_eq!(found, CORPUS_VERSION + 1);
+        }
+        other => panic!(
+            "future version must be refused, got {:?}",
+            other.map(|_| ())
+        ),
+    }
+}
+
+#[test]
+fn foreign_magic_is_rejected_at_offset_zero() {
+    let mut bytes = golden_bytes();
+    bytes[..4].copy_from_slice(b"ELF\x7f");
+    match CorpusReader::new(bytes.as_slice()) {
+        Err(TraceError::BadMagic { found }) => assert_eq!(&found, b"ELF\x7f"),
+        other => panic!("bad magic must be refused, got {:?}", other.map(|_| ())),
+    }
+}
