@@ -47,4 +47,10 @@ fn main() {
         workers,
     ));
     emit(ev8_sim::experiments::shootout::report(scale, workers));
+    // The H2P taxonomy runs three predictors over three extra
+    // workloads: reduced scale, like the SEU grid.
+    emit(ev8_sim::experiments::h2p::report(
+        (scale * 0.1).max(0.002),
+        workers,
+    ));
 }

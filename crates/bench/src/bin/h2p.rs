@@ -1,0 +1,11 @@
+//! H2P taxonomy study: rank static branches by EV8 misprediction
+//! contribution on the synthetic H2P workloads (data-dependent,
+//! input-entropy, timing-jitter archetypes) and show the EV8→TAGE
+//! accuracy gap concentrating in the top-decile hard-branch tail.
+
+fn main() {
+    let scale = ev8_bench::scale_from_env();
+    let workers = ev8_bench::workers();
+    ev8_bench::print_header("h2p", scale);
+    println!("{}", ev8_sim::experiments::h2p::report(scale, workers));
+}

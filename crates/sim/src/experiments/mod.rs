@@ -27,6 +27,7 @@
 //! | [`update_traffic`] | §4.2 — partial-update accuracy and write traffic |
 //! | [`aliasing`] | §4 — interference vs static footprint |
 //! | [`attribution`] | observability — per-component provenance, §6 invariants |
+//! | [`h2p`] | taxonomy — the EV8/TAGE gap concentrates in the H2P branch tail |
 //! | [`seu`] | robustness — misp/KI under soft-error injection |
 //! | [`scaling`] | calibration — misp/KI convergence with trace length |
 //! | [`shootout`] | cross-generation — bimodal/gshare/2Bc-gskew/TAGE at the EV8 budget |
@@ -57,6 +58,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod frontend;
+pub mod h2p;
 pub mod history_sweep;
 pub mod scaling;
 pub mod seu;

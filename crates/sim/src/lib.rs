@@ -34,6 +34,12 @@
 //!   with warmup prefixes, simulates them on worker threads, and splices
 //!   the scoreboards — bit-identical to serial at full warmup and with a
 //!   measured, convergent misprediction error otherwise.
+//! * [`sampling`] — SimPoint-style weighted phase sampling:
+//!   [`simulate_sampled`] profiles per-interval branch-behaviour
+//!   vectors in one streaming pass, clusters them with a deterministic
+//!   in-tree k-means, simulates one warm representative per phase and
+//!   returns a population-weighted estimate with the |sampled − full|
+//!   misp/KI delta recorded next to every number.
 //! * [`metrics`] — [`SimResult`] with misp/KI,
 //!   accuracy and counts.
 //! * [`sweep`] — parallel execution of simulation jobs over worker
@@ -63,6 +69,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod observe;
 pub mod report;
+pub mod sampling;
 pub mod session;
 pub mod simulator;
 pub mod sweep;
@@ -73,9 +80,13 @@ pub use batch::{
 };
 pub use metrics::SimResult;
 pub use observe::simulate_observed;
+pub use sampling::{
+    cluster_intervals, profile_intervals, simulate_sampled, validate_sampled, AgeCurve, Interval,
+    Phase, SampledRun, SampledVsFull, SamplingConfig, TailSample,
+};
 pub use session::{ProvenanceSummary, SessionSim, SessionSummary};
 pub use simulator::{
     simulate, simulate_corpus, simulate_stale_update, simulate_stale_update_with_scratch,
     simulate_with_faults,
 };
-pub use window::{simulate_windowed, WindowPlan, WindowedRun};
+pub use window::{simulate_windowed, simulate_windowed_factory, WindowPlan, WindowedRun};

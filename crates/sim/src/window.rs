@@ -169,6 +169,27 @@ where
     }
 }
 
+/// [`simulate_windowed`] over an experiment [`Factory`]: the front door
+/// for windowed and sampled runs of *any* predictor family (gshare,
+/// 2Bc-gskew, EV8, TAGE, …) described as a boxed constructor.
+///
+/// `Box<dyn BranchPredictor>` itself implements [`BranchPredictor`], so
+/// this is a thin adapter; it exists so call sites holding the
+/// type-erased factories used across [`crate::experiments`] (and the
+/// sampling engine) don't each re-derive the closure plumbing.
+///
+/// [`Factory`]: crate::experiments::Factory
+pub fn simulate_windowed_factory(
+    factory: &crate::experiments::Factory,
+    trace: &Arc<FlatTrace>,
+    plan: WindowPlan,
+    workers: usize,
+    policy: &RunPolicy,
+) -> WindowedRun {
+    let factory = Arc::clone(factory);
+    simulate_windowed(move || factory(), trace, plan, workers, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,21 @@
 //!   recent *global* outcomes; the reason global-history predictors win.
 //! * [`Behavior::Random`] — inherently unpredictable (data-dependent), the
 //!   "hard branches" the paper's conclusion worries about.
+//!
+//! The **H2P archetypes** follow the Constantinou/Perais/Sazeides
+//! taxonomy of hard-to-predict branches (see PAPERS.md): branches whose
+//! outcomes are functions of program *data*, of *input entropy*, or of
+//! *timing*, none of which is visible in branch history:
+//!
+//! * [`Behavior::DataDependent`] — outcome is a hash of a long-period
+//!   iteration counter: deterministic, but structureless to any
+//!   history-indexed table (the "wild branches" of the Bullseye paper).
+//! * [`Behavior::InputEntropy`] — a strongly biased branch whose bias
+//!   *direction* flips at input-driven random times; predictors must
+//!   re-learn after every flip, so faster-adapting schemes lose less.
+//! * [`Behavior::TimingJitter`] — a loop back-edge whose trip count is
+//!   re-drawn per entry (timing/availability-dependent exit): the mean
+//!   period is learnable, the exact exit iteration is not.
 
 use ev8_util::rng::Rng;
 
@@ -60,13 +75,51 @@ pub enum Behavior {
     },
     /// A fair (or slightly biased) coin — models data-dependent branches.
     Random,
+    /// H2P: the outcome is a hash bit of a long-period iteration counter
+    /// — a pure function of program data that carries no correlation
+    /// with branch history. Deterministic per execution index, yet
+    /// effectively unpredictable for any history-indexed scheme unless
+    /// the period is short enough to memorize.
+    DataDependent {
+        /// Per-site hash salt (derived from the program seed).
+        salt: u64,
+        /// Counter period (≥ 1); the outcome sequence repeats after
+        /// `period` executions. Long periods are unlearnable.
+        period: u32,
+    },
+    /// H2P: a strongly biased branch whose bias *direction* is a hidden
+    /// two-state Markov chain — the direction flips with `flip_rate`
+    /// each execution (modeling input-entropy-driven phase changes).
+    /// Within a phase the branch is `bias`-predictable; every flip
+    /// forces relearning, so adaptation speed separates predictors.
+    InputEntropy {
+        /// Probability the hidden direction flips before an execution.
+        flip_rate: f64,
+        /// Probability the outcome follows the current direction
+        /// (in `[0.5, 1]`).
+        bias: f64,
+    },
+    /// H2P: a loop back-edge whose trip count is re-drawn uniformly from
+    /// `base_trip ..= base_trip + jitter` at every loop entry — the
+    /// timing-style non-predictable branch (spin loops, queue polls):
+    /// the mean period is learnable, the exact exit is not.
+    TimingJitter {
+        /// Minimum trip count (≥ 1).
+        base_trip: u32,
+        /// Maximum extra iterations drawn per loop entry.
+        jitter: u32,
+    },
 }
 
 /// Per-branch dynamic state for an archetype (loop counters, pattern
-/// positions).
+/// positions, hidden phase bits).
 #[derive(Clone, Debug, Default)]
 pub struct BehaviorState {
     position: u32,
+    /// Archetype-private auxiliary word: the [`Behavior::InputEntropy`]
+    /// hidden direction (bit 0) and the [`Behavior::TimingJitter`]
+    /// currently drawn trip count.
+    aux: u32,
 }
 
 impl Behavior {
@@ -120,6 +173,33 @@ impl Behavior {
                 taken
             }
             Behavior::Random => rng.gen_bool(0.5),
+            Behavior::DataDependent { salt, period } => {
+                let taken = ev8_util::rng::mix(*salt ^ state.position as u64) & 1 == 1;
+                state.position = (state.position + 1) % *period;
+                taken
+            }
+            Behavior::InputEntropy { flip_rate, bias } => {
+                if rng.gen_bool(*flip_rate) {
+                    state.aux ^= 1;
+                }
+                let direction = state.aux & 1 == 1;
+                if rng.gen_bool(*bias) {
+                    direction
+                } else {
+                    !direction
+                }
+            }
+            Behavior::TimingJitter { base_trip, jitter } => {
+                if state.position == 0 {
+                    // One uniform draw in 0..=jitter (gen_range needs a
+                    // sized Rng, which this dyn-friendly signature lacks).
+                    let span = f64::from(*jitter) + 1.0;
+                    state.aux = base_trip + (rng.gen_f64() * span) as u32;
+                }
+                let taken = state.position + 1 < state.aux;
+                state.position = if taken { state.position + 1 } else { 0 };
+                taken
+            }
         }
     }
 
@@ -132,7 +212,34 @@ impl Behavior {
             Behavior::GlobalCorrelated { .. } => "correlated",
             Behavior::PathCorrelated { .. } => "path-correlated",
             Behavior::Random => "random",
+            Behavior::DataDependent { .. } => "data-dependent",
+            Behavior::InputEntropy { .. } => "input-entropy",
+            Behavior::TimingJitter { .. } => "timing-jitter",
         }
+    }
+
+    /// True for the hard-to-predict archetype classes of the
+    /// Constantinou/Perais/Sazeides taxonomy: the branches whose outcome
+    /// is a function of data values, input entropy or timing rather than
+    /// of anything branch history encodes. [`Behavior::Random`] belongs
+    /// here too (it models irreducible data dependence).
+    pub fn is_h2p(&self) -> bool {
+        matches!(
+            self,
+            Behavior::Random
+                | Behavior::DataDependent { .. }
+                | Behavior::InputEntropy { .. }
+                | Behavior::TimingJitter { .. }
+        )
+    }
+
+    /// [`Behavior::is_h2p`] keyed by [`Behavior::label`], for classifying
+    /// report rows without holding a `Behavior` value.
+    pub fn label_is_h2p(label: &str) -> bool {
+        matches!(
+            label,
+            "random" | "data-dependent" | "input-entropy" | "timing-jitter"
+        )
     }
 
     /// Validates the archetype parameters.
@@ -172,6 +279,24 @@ impl Behavior {
                 }
             }
             Behavior::Random => {}
+            Behavior::DataDependent { period, .. } => {
+                if *period == 0 {
+                    return Err("data-dependent period must be >= 1".to_owned());
+                }
+            }
+            Behavior::InputEntropy { flip_rate, bias } => {
+                if !(0.0..=1.0).contains(flip_rate) {
+                    return Err(format!("flip_rate {flip_rate} not in [0,1]"));
+                }
+                if !(0.5..=1.0).contains(bias) {
+                    return Err(format!("bias {bias} not in [0.5,1]"));
+                }
+            }
+            Behavior::TimingJitter { base_trip, .. } => {
+                if *base_trip == 0 {
+                    return Err("timing-jitter base_trip must be >= 1".to_owned());
+                }
+            }
         }
         Ok(())
     }
@@ -290,6 +415,131 @@ mod tests {
     }
 
     #[test]
+    fn data_dependent_is_deterministic_and_balanced() {
+        let b = Behavior::DataDependent {
+            salt: 0xDEAD_BEEF,
+            period: 1 << 20,
+        };
+        // Deterministic: the sequence is a pure function of the counter.
+        let run = |n: usize| -> Vec<bool> {
+            let mut st = BehaviorState::default();
+            let mut r = rng();
+            (0..n)
+                .map(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+                .collect()
+        };
+        assert_eq!(run(2000), run(2000));
+        // Balanced: a hash bit is a fair coin in aggregate.
+        let taken = run(5000).iter().filter(|&&t| t).count();
+        let rate = taken as f64 / 5000.0;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+        // No rng draws consumed: history-independent and data-driven.
+        let mut st = BehaviorState::default();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        b.next_outcome(&mut st, 0, 0, &mut r1);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn data_dependent_repeats_at_its_period() {
+        let b = Behavior::DataDependent { salt: 7, period: 8 };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let seq: Vec<bool> = (0..24)
+            .map(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .collect();
+        assert_eq!(seq[..8], seq[8..16]);
+        assert_eq!(seq[..8], seq[16..24]);
+    }
+
+    #[test]
+    fn input_entropy_is_biased_within_phases() {
+        // With no flips the branch is simply biased toward the hidden
+        // direction (initially not-taken).
+        let b = Behavior::InputEntropy {
+            flip_rate: 0.0,
+            bias: 0.95,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let taken = (0..4000)
+            .filter(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .count();
+        let rate = taken as f64 / 4000.0;
+        assert!((rate - 0.05).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn input_entropy_flips_direction_over_time() {
+        let b = Behavior::InputEntropy {
+            flip_rate: 0.01,
+            bias: 1.0,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..8000)
+            .map(|_| b.next_outcome(&mut st, 0, 0, &mut r))
+            .collect();
+        // With deterministic within-phase outcomes, every observed change
+        // of value is a direction flip; expect roughly 8000 * 0.01.
+        let flips = outcomes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!((20..=200).contains(&flips), "{flips} flips");
+    }
+
+    #[test]
+    fn timing_jitter_exits_within_the_drawn_band() {
+        let b = Behavior::TimingJitter {
+            base_trip: 4,
+            jitter: 3,
+        };
+        let mut st = BehaviorState::default();
+        let mut r = rng();
+        let mut trip = 0u32;
+        let mut trips = Vec::new();
+        for _ in 0..4000 {
+            if b.next_outcome(&mut st, 0, 0, &mut r) {
+                trip += 1;
+            } else {
+                trips.push(trip + 1);
+                trip = 0;
+            }
+        }
+        assert!(trips.iter().all(|&t| (4..=7).contains(&t)), "{trips:?}");
+        // The jitter must actually vary the exit point.
+        let distinct: std::collections::HashSet<u32> = trips.iter().copied().collect();
+        assert!(distinct.len() >= 3, "trip counts {distinct:?}");
+    }
+
+    #[test]
+    fn h2p_classification_matches_taxonomy() {
+        assert!(Behavior::Random.is_h2p());
+        assert!(Behavior::DataDependent { salt: 1, period: 2 }.is_h2p());
+        assert!(Behavior::InputEntropy {
+            flip_rate: 0.1,
+            bias: 0.9
+        }
+        .is_h2p());
+        assert!(Behavior::TimingJitter {
+            base_trip: 2,
+            jitter: 1
+        }
+        .is_h2p());
+        assert!(!Behavior::Loop { trip_count: 4 }.is_h2p());
+        assert!(!Behavior::Biased {
+            taken_probability: 0.9
+        }
+        .is_h2p());
+        for b in [
+            Behavior::Random,
+            Behavior::DataDependent { salt: 1, period: 2 },
+            Behavior::Loop { trip_count: 4 },
+        ] {
+            assert_eq!(Behavior::label_is_h2p(b.label()), b.is_h2p());
+        }
+    }
+
+    #[test]
     fn validation_catches_bad_parameters() {
         assert!(Behavior::Biased {
             taken_probability: 1.5
@@ -332,6 +582,42 @@ mod tests {
         .is_ok());
         assert!(Behavior::Random.validate().is_ok());
         assert!(Behavior::Loop { trip_count: 8 }.validate().is_ok());
+        assert!(Behavior::DataDependent { salt: 1, period: 0 }
+            .validate()
+            .is_err());
+        assert!(Behavior::DataDependent { salt: 1, period: 9 }
+            .validate()
+            .is_ok());
+        assert!(Behavior::InputEntropy {
+            flip_rate: 1.5,
+            bias: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::InputEntropy {
+            flip_rate: 0.1,
+            bias: 0.3
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::InputEntropy {
+            flip_rate: 0.02,
+            bias: 0.92
+        }
+        .validate()
+        .is_ok());
+        assert!(Behavior::TimingJitter {
+            base_trip: 0,
+            jitter: 4
+        }
+        .validate()
+        .is_err());
+        assert!(Behavior::TimingJitter {
+            base_trip: 3,
+            jitter: 4
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -357,6 +643,17 @@ mod tests {
             }
             .label(),
             Behavior::Random.label(),
+            Behavior::DataDependent { salt: 1, period: 4 }.label(),
+            Behavior::InputEntropy {
+                flip_rate: 0.01,
+                bias: 0.9,
+            }
+            .label(),
+            Behavior::TimingJitter {
+                base_trip: 4,
+                jitter: 2,
+            }
+            .label(),
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());

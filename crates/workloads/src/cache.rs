@@ -187,6 +187,34 @@ impl TraceCache {
         }))
     }
 
+    /// The disk-backed tier for packed views: like
+    /// [`TraceCache::get_flat_scaled`], but the underlying AoS trace is
+    /// resolved through [`TraceCache::cached_or_corpus`], so a built
+    /// corpus serves the bytes and generation is the fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn cached_or_corpus_flat(
+        &self,
+        store: &CorpusStore,
+        spec: &ProgramSpec,
+        scale: f64,
+    ) -> Arc<FlatTrace> {
+        assert!(scale > 0.0, "scale must be positive");
+        let instructions = ((spec.instructions as f64) * scale).max(1.0) as u64;
+        let (key, _) = Key::scaled(spec, instructions);
+        let cell = {
+            let mut map = self.flat_entries.lock().expect("trace cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            Arc::new(FlatTrace::from_trace(
+                &self.cached_or_corpus(store, spec, scale),
+            ))
+        }))
+    }
+
     /// Number of distinct traces generated so far.
     pub fn len(&self) -> usize {
         self.entries
@@ -391,6 +419,34 @@ mod tests {
         let cache = TraceCache::new();
         let trace = cache.cached_or_corpus(&store, &spec, 0.5);
         assert_eq!(*trace, spec.generate_scaled(0.5));
+
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corpus_tier_flat_view_matches_and_respects_fingerprints() {
+        let mut store = tmp_store("flat");
+        let spec = tiny_spec();
+        store.build(&spec, 0.5).unwrap();
+
+        // Hit: the flat view streams from the corpus-backed AoS trace
+        // and reconstructs records bit-identically.
+        let cache = TraceCache::new();
+        let flat = cache.cached_or_corpus_flat(&store, &spec, 0.5);
+        let fresh = spec.generate_scaled(0.5);
+        assert_eq!(flat.iter().collect::<Vec<_>>(), fresh.records());
+        let again = cache.cached_or_corpus_flat(&store, &spec, 0.5);
+        assert!(Arc::ptr_eq(&flat, &again));
+
+        // Stale fingerprint: a catalog entry built from a different
+        // generator identity is ignored and the flat view regenerates.
+        let mut other = spec.clone();
+        other.noise = (other.noise + 0.3).min(1.0);
+        let stale = cache.cached_or_corpus_flat(&store, &other, 0.5);
+        assert_eq!(
+            stale.iter().collect::<Vec<_>>(),
+            other.generate_scaled(0.5).records()
+        );
 
         let _ = std::fs::remove_dir_all(store.dir());
     }

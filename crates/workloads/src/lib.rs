@@ -21,6 +21,10 @@
 //!   ([`cache::TraceCache`]): generation is deterministic, so tests and
 //!   experiments fetch shared `Arc<Trace>`s via [`spec95::cached`]
 //!   instead of regenerating the same trace at every call site.
+//! * [`h2p`] — hard-to-predict workload analogues built from the H2P
+//!   archetypes (data-dependent, input-entropy, timing-jitter branches)
+//!   of the Constantinou/Perais/Sazeides taxonomy, plus ground-truth
+//!   site classification helpers for misprediction attribution.
 //! * [`corpus`] — the disk tier below the cache: a
 //!   [`corpus::CorpusStore`] catalogs compressed on-disk corpus files
 //!   (the `ev8_trace::corpus` container) keyed by the full generator
@@ -50,8 +54,9 @@
 pub mod behavior;
 pub mod cache;
 pub mod corpus;
+pub mod h2p;
 pub mod program;
 pub mod spec95;
 pub mod zipf;
 
-pub use program::{BehaviorMix, ProgramSpec};
+pub use program::{BehaviorMix, H2pMix, ProgramSpec};

@@ -25,6 +25,37 @@ use ev8_trace::{BranchKind, BranchRecord, Pc, Trace, TraceBuilder};
 use crate::behavior::{Behavior, BehaviorState};
 use crate::zipf::Zipf;
 
+/// Relative weights of the hard-to-predict archetype classes
+/// (Constantinou/Perais/Sazeides taxonomy) within a [`BehaviorMix`].
+///
+/// Kept as a separate extension block so the eight calibrated SPECINT95
+/// specs — none of which uses these archetypes — read and fingerprint
+/// exactly as they did before the H2P workloads existed (see
+/// [`ProgramSpec::fingerprint`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct H2pMix {
+    /// Hash-of-data branches ([`Behavior::DataDependent`]).
+    pub data_dependent: f64,
+    /// Entropy-driven bias flips ([`Behavior::InputEntropy`]).
+    pub input_entropy: f64,
+    /// Jittered loop exits ([`Behavior::TimingJitter`]).
+    pub timing: f64,
+}
+
+impl H2pMix {
+    /// No H2P archetypes at all — the classic mix.
+    pub const NONE: H2pMix = H2pMix {
+        data_dependent: 0.0,
+        input_entropy: 0.0,
+        timing: 0.0,
+    };
+
+    /// Sum of the H2P weights.
+    pub fn total(&self) -> f64 {
+        self.data_dependent + self.input_entropy + self.timing
+    }
+}
+
 /// Relative weights of the behaviour archetypes in a program.
 ///
 /// The weights need not sum to 1; they are normalized when sampling.
@@ -40,6 +71,9 @@ pub struct BehaviorMix {
     pub correlated: f64,
     /// Data-dependent, inherently unpredictable branches.
     pub random: f64,
+    /// Hard-to-predict archetype extension ([`H2pMix::NONE`] for the
+    /// classic workloads).
+    pub h2p: H2pMix,
 }
 
 impl BehaviorMix {
@@ -52,6 +86,7 @@ impl BehaviorMix {
             patterns: 0.10,
             correlated: 0.20,
             random: 0.05,
+            h2p: H2pMix::NONE,
         }
     }
 
@@ -68,7 +103,17 @@ impl BehaviorMix {
         // remainder falls back to biased branches.
         let random_w = self.random * noise;
         let biased_w = self.biased + self.random - random_w;
-        let t = biased_w + self.loops + self.patterns + self.correlated + random_w;
+        // The H2P weights join the total unscaled (adding their 0.0 for
+        // classic mixes is exact, so those mixes draw the same stream as
+        // before the extension existed).
+        let t = biased_w
+            + self.loops
+            + self.patterns
+            + self.correlated
+            + self.h2p.data_dependent
+            + self.h2p.input_entropy
+            + self.h2p.timing
+            + random_w;
         assert!(t > 0.0, "behavior mix must have positive total weight");
         let mut u = rng.gen_f64() * t;
         u -= biased_w;
@@ -121,6 +166,36 @@ impl BehaviorMix {
                     noise: corr_noise,
                 }
             };
+        }
+        u -= self.h2p.data_dependent;
+        if u < 0.0 {
+            // A fresh salt per site; log-uniform periods 2^10..2^20, far
+            // past what any history register or tag can memorize.
+            let salt = rng.next_u64();
+            let exp = rng.gen_range(10.0f64..20.0);
+            return Behavior::DataDependent {
+                salt,
+                period: 2f64.powf(exp).round() as u32,
+            };
+        }
+        u -= self.h2p.input_entropy;
+        if u < 0.0 {
+            // Flip rates log-uniform in ~5e-4..2e-2 (phases of tens to
+            // thousands of executions) with only a moderate within-phase
+            // bias: every flip forces relearning and the floor stays
+            // high, so these sites mispredict at a large multiple of an
+            // ordinary biased branch.
+            let flip_rate = 10f64.powf(rng.gen_range(-3.3f64..-1.7));
+            let bias = rng.gen_range(0.72..0.90);
+            return Behavior::InputEntropy { flip_rate, bias };
+        }
+        u -= self.h2p.timing;
+        if u < 0.0 {
+            // Short-to-medium loops whose exit jitters by about as much
+            // as the base trip count.
+            let base_trip = 2f64.powf(rng.gen_range(1.0f64..4.5)).round() as u32;
+            let jitter = rng.gen_range(1..=base_trip.max(2));
+            return Behavior::TimingJitter { base_trip, jitter };
         }
         Behavior::Random
     }
@@ -240,6 +315,17 @@ impl ProgramSpec {
         eat(&self.mix.patterns.to_bits().to_le_bytes());
         eat(&self.mix.correlated.to_bits().to_le_bytes());
         eat(&self.mix.random.to_bits().to_le_bytes());
+        // The H2P extension is hashed only when present, so every spec
+        // predating it (all of spec95) keeps its exact fingerprint —
+        // cache keys, corpus catalog rows and golden fixtures stay
+        // valid. The tag byte keeps an extended spec from colliding with
+        // a classic one that happens to share a byte prefix.
+        if self.mix.h2p != crate::program::H2pMix::NONE {
+            eat(&[1]);
+            eat(&self.mix.h2p.data_dependent.to_bits().to_le_bytes());
+            eat(&self.mix.h2p.input_entropy.to_bits().to_le_bytes());
+            eat(&self.mix.h2p.timing.to_bits().to_le_bytes());
+        }
         eat(&self.hotness_skew.to_bits().to_le_bytes());
         eat(&self.call_fraction.to_bits().to_le_bytes());
         eat(&self.noise.to_bits().to_le_bytes());
@@ -308,8 +394,14 @@ fn mean_taken(b: &Behavior) -> f64 {
         Behavior::LocalPattern { pattern } => {
             pattern.iter().filter(|&&t| t).count() as f64 / pattern.len().max(1) as f64
         }
-        Behavior::GlobalCorrelated { .. } | Behavior::PathCorrelated { .. } | Behavior::Random => {
-            0.5
+        Behavior::GlobalCorrelated { .. }
+        | Behavior::PathCorrelated { .. }
+        | Behavior::Random
+        | Behavior::DataDependent { .. }
+        | Behavior::InputEntropy { .. } => 0.5,
+        Behavior::TimingJitter { base_trip, jitter } => {
+            let t = *base_trip as f64 + *jitter as f64 / 2.0;
+            (t - 1.0) / t.max(1.0)
         }
     }
 }
@@ -454,6 +546,26 @@ fn build_program(spec: &ProgramSpec, rng: &mut DefaultRng) -> Program {
 #[cfg(test)]
 fn chain_of_entry(program: &Program, pc: Pc) -> Option<usize> {
     program.chains.iter().position(|c| c.entry == pc)
+}
+
+/// Ground-truth archetype labels for every static conditional branch
+/// site of `spec`'s compiled program: `(pc, behavior label)` in layout
+/// order.
+///
+/// Program construction is deterministic from the spec's seed and
+/// consumes the same RNG prefix as [`generate`], so the returned PCs are
+/// exactly the conditional-branch PCs that appear in the generated
+/// trace. This is the oracle the `h2p` experiment classifies
+/// top-mispredicting branches against (labels as in
+/// [`Behavior::label`]; H2P classes per `Behavior::label_is_h2p`).
+pub fn site_labels(spec: &ProgramSpec) -> Vec<(u64, &'static str)> {
+    let mut rng = DefaultRng::seed_from_u64(spec.seed);
+    let program = build_program(spec, &mut rng);
+    program
+        .sites
+        .iter()
+        .map(|s| (s.pc.as_u64(), s.behavior.label()))
+        .collect()
 }
 
 /// Generates the dynamic trace for a spec.

@@ -13,7 +13,7 @@ use ev8_core::Ev8Predictor;
 use ev8_predictors::gshare::Gshare;
 use ev8_sim::simulate;
 use ev8_trace::{codec, TraceStats};
-use ev8_workloads::{BehaviorMix, ProgramSpec};
+use ev8_workloads::{BehaviorMix, H2pMix, ProgramSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A hypothetical pointer-chasing workload: modest footprint, heavy
@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             patterns: 0.05,
             correlated: 0.50,
             random: 0.05,
+            h2p: H2pMix::NONE,
         },
         hotness_skew: 0.9,
         call_fraction: 0.15,

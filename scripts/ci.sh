@@ -169,6 +169,25 @@ if [ "$corpus_elapsed" -gt "$CORPUS_BUDGET" ]; then
     exit 1
 fi
 
+# Sampling smoke, budgeted: the phase-sampling estimator's whole
+# contract — the integration properties (seeded k-means determinism
+# across threads, weights partitioning the intervals, the degenerate
+# full-coverage config bit-identical to the serial simulator), the
+# golden estimate fixture (re-bless intended estimator changes with
+# EV8_BLESS_GOLDEN=1), and one pass of the H2P taxonomy study at smoke
+# scale, which reconciles every per-PC histogram in-process.
+SAMPLING_BUDGET="${EV8_SAMPLING_BUDGET:-120}"
+sampling_start=$(date +%s)
+run cargo test -q --test sampling_properties --offline
+run cargo test -q --test golden_sampling --offline
+run env EV8_SCALE=0.002 cargo run -q --release --offline -p ev8-bench --bin h2p
+sampling_elapsed=$(( $(date +%s) - sampling_start ))
+echo "==> sampling wall-clock: ${sampling_elapsed}s (budget ${SAMPLING_BUDGET}s)"
+if [ "$sampling_elapsed" -gt "$SAMPLING_BUDGET" ]; then
+    echo "error: sampling smoke exceeded its ${SAMPLING_BUDGET}s wall-clock budget" >&2
+    exit 1
+fi
+
 # Benches are plain `fn main()` binaries on the in-tree harness: build
 # them all, then smoke-run them at one sample per benchmark
 # (EV8_BENCH_SAMPLES overrides per-group sample sizes, so this stays
@@ -184,8 +203,10 @@ if [ "$QUICK" -eq 0 ]; then
     # EV8_SHOOTOUT_SCALE likewise keeps the accuracy-recording shootout
     # group at smoke size.
     # EV8_CORPUS_SCALE keeps the corpus codec group at smoke size too.
+    # EV8_SAMPLING_SCALE keeps the sampling accuracy grid at smoke size
+    # (the acceptance envelope only asserts at scale >= 0.5).
     run env EV8_BENCH_SAMPLES=1 EV8_SWEEP_SCALE=0.02 EV8_SHOOTOUT_SCALE=0.002 \
-        EV8_CORPUS_SCALE=0.002 \
+        EV8_CORPUS_SCALE=0.002 EV8_SAMPLING_SCALE=0.002 \
         EV8_BENCH_JSON="$PWD/target/bench-smoke.json" \
         cargo bench --offline -p ev8-bench
 fi

@@ -334,6 +334,39 @@ fn windowed_splice_is_bit_accounted_on_real_benchmarks() {
     }
 }
 
+/// The windowed front door is family-agnostic: batched≡serial at full
+/// warmup for *every* predictor family behind the type-erased
+/// experiment [`Factory`] — bimodal, gshare, 2Bc-gskew, the full EV8
+/// and TAGE — not just the gshare shape the engine grew up on.
+#[test]
+fn windowed_splice_is_exact_at_full_warmup_for_every_family() {
+    use ev8_sim::experiments::{factory, Factory};
+    use ev8_sim::simulate_windowed_factory;
+    let policy = RunPolicy::default();
+    let families: Vec<(&str, Factory)> = vec![
+        ("bimodal", factory(|| Bimodal::new(12))),
+        ("gshare", factory(|| Gshare::new(12, 12))),
+        (
+            "2bcgskew",
+            factory(|| TwoBcGskew::new(TwoBcGskewConfig::ev8_size())),
+        ),
+        ("ev8", factory(Ev8Predictor::ev8)),
+        ("tage", factory(|| Tage::new(TageConfig::ev8_budget()))),
+    ];
+    for name in ["compress", "go"] {
+        let flat = spec95::cached_flat(name, 0.001).unwrap();
+        let plan = WindowPlan::new(2048, flat.len());
+        assert!(plan.is_exact_for(flat.len()));
+        for (family, fac) in &families {
+            let serial = simulate_flat(fac(), &flat);
+            let run = simulate_windowed_factory(fac, &flat, plan, 4, &policy);
+            assert_eq!(run.result, serial, "{name}/{family}: full-warmup splice");
+            let spliced: u64 = run.per_window.iter().map(|w| w.mispredictions).sum();
+            assert_eq!(spliced, serial.mispredictions, "{name}/{family}");
+        }
+    }
+}
+
 /// The CI sweep smoke (`scripts/ci.sh`, `EV8_SWEEP_BUDGET`): one batched
 /// 8-config sweep over real generated benchmarks, asserted equal to the
 /// serial results field-for-field.
